@@ -1,0 +1,55 @@
+//! Run every figure experiment in sequence (Table 1 + Figures 5-19).
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin all_experiments [--scale X]`
+//!
+//! With `RSV_JSON=results.jsonl` every measurement is also appended to a
+//! JSON-lines file for post-processing.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1",
+    "fig05_selection_scan",
+    "fig06_lp_dh_probe",
+    "fig07_cuckoo_probe",
+    "fig08_build_probe",
+    "fig09_key_repeats",
+    "fig10_bloom",
+    "fig11_histogram",
+    "fig12_range_function",
+    "fig13_shuffling",
+    "fig14_radixsort",
+    "fig15_join_variants",
+    "fig16_scalability",
+    "fig17_cross_platform",
+    "fig18_sort_payloads",
+    "fig19_join_payloads",
+    "ext_aggregation",
+    "ablation_skew",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n################################################################");
+        println!("# running {bin}");
+        println!("################################################################\n");
+        let status = Command::new(dir.join(bin)).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!! {bin} failed: {other:?}");
+                failures.push(*bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 5: selection scan throughput vs. selectivity, six variants
+//! (scalar branching/branchless; vector bit-extract/selective-store ×
+//! direct/indirect).
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin fig05_selection_scan [--scale X]`
+
+use rsv_bench::{banner, bench, mtps, record, Measurement, Scale, Table};
+use rsv_scan::{scan, ScanPredicate, ScanVariant};
+
+fn main() {
+    banner(
+        "fig05",
+        "selection scan (32-bit key & payload)",
+        "vector >> scalar; indirect variants win at low selectivity, \
+         selective-store wins at high selectivity; branchless scalar flat",
+    );
+    let scale = Scale::from_env();
+    let n = scale.tuples(16 << 20, 1 << 16);
+    let backend = rsv_bench::backend();
+    println!("tuples: {n}, vector backend: {}\n", backend.name());
+
+    let mut rng = rsv_data::rng(1005);
+    let keys = rsv_data::uniform_u32(n, &mut rng);
+    let pays: Vec<u32> = (0..n as u32).collect();
+    let mut out_keys = vec![0u32; n];
+    let mut out_pays = vec![0u32; n];
+
+    let selectivities = [0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50, 1.00];
+    let mut table = Table::new(&[
+        "selectivity %",
+        "scalar-br",
+        "scalar-nobr",
+        "vec-bit-dir",
+        "vec-sel-dir",
+        "vec-bit-ind",
+        "vec-sel-ind",
+    ]);
+    for sel in selectivities {
+        let (lo, hi) = rsv_data::selection_bounds(sel);
+        let pred = ScanPredicate {
+            lower: lo,
+            upper: hi,
+        };
+        let mut cells = vec![format!("{:.0}", sel * 100.0)];
+        for variant in ScanVariant::ALL {
+            let secs = bench(3, || {
+                scan(
+                    backend,
+                    variant,
+                    &keys,
+                    &pays,
+                    pred,
+                    &mut out_keys,
+                    &mut out_pays,
+                );
+            });
+            let v = mtps(n, secs);
+            record(&Measurement {
+                experiment: "fig05",
+                series: variant.label(),
+                x: sel * 100.0,
+                value: v,
+                unit: "Mtps",
+            });
+            cells.push(format!("{v:.0}"));
+        }
+        table.row(cells);
+    }
+    println!("throughput (million tuples / second):\n");
+    table.print();
+}

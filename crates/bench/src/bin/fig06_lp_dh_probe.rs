@@ -1,0 +1,112 @@
+//! Figure 6: probing linear-probing and double-hashing tables vs. table
+//! size — scalar, horizontal (bucketized) and vertical vectorization.
+//!
+//! Workload: 32-bit keys → 32-bit probed payloads, 50% load factor,
+//! (almost) all probe keys match.
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin fig06_lp_dh_probe [--scale X]`
+
+use rsv_bench::{banner, bench, fmt_bytes, mtps, record, Measurement, Scale, Table};
+use rsv_hashtab::{BucketScheme, BucketizedTable, DoubleHashTable, JoinSink, LinearTable};
+use rsv_simd::dispatch;
+
+fn main() {
+    banner(
+        "fig06",
+        "probe LP & DH tables (shared, 32-bit key -> payload)",
+        "vertical >> horizontal ~ scalar for cache-resident tables \
+         (paper: up to 6x, using 4-way SMT to hide gather latency; the x4 \
+         column interleaves 4 probe strands to do the same in software); \
+         the gap narrows once the table spills to RAM",
+    );
+    let scale = Scale::from_env();
+    let probes = scale.tuples(8 << 20, 1 << 16);
+    let backend = rsv_bench::backend();
+    println!(
+        "probes per size: {probes}, vector backend: {}\n",
+        backend.name()
+    );
+
+    let mut rng = rsv_data::rng(1006);
+    let sizes: Vec<usize> = (12..=26).step_by(2).map(|b| 1usize << b).collect(); // 4 KB .. 64 MB
+
+    let mut table = Table::new(&[
+        "table size",
+        "LP scalar",
+        "LP horiz",
+        "LP vert",
+        "LP vert x4",
+        "DH scalar",
+        "DH horiz",
+        "DH vert",
+        "DH vert x4",
+    ]);
+    for bytes in sizes {
+        // interleaved pairs are 8 bytes; 50% load factor
+        let build_n = (bytes / 8 / 2).max(16);
+        let bkeys = rsv_data::unique_u32(build_n, &mut rng);
+        let bpays: Vec<u32> = (0..build_n as u32).collect();
+        let pkeys: Vec<u32> = (0..probes).map(|i| bkeys[(i * 7 + 3) % build_n]).collect();
+        let ppays: Vec<u32> = (0..probes as u32).collect();
+
+        let mut lp = LinearTable::new(build_n, 0.5);
+        lp.build_scalar(&bkeys, &bpays);
+        let mut dh = DoubleHashTable::new(build_n, 0.5);
+        dh.build_scalar(&bkeys, &bpays);
+        let mut lp_h = BucketizedTable::new(build_n, 0.5, backend.lanes(), BucketScheme::Linear);
+        lp_h.build(&bkeys, &bpays);
+        let mut dh_h = BucketizedTable::new(build_n, 0.5, backend.lanes(), BucketScheme::Double);
+        dh_h.build(&bkeys, &bpays);
+
+        let mut sink = JoinSink::with_capacity(probes + 64);
+        let mut run = |name: &str, f: &mut dyn FnMut(&mut JoinSink)| {
+            let secs = bench(3, || {
+                sink.clear();
+                f(&mut sink);
+                assert!(
+                    sink.len() >= probes - 64,
+                    "{name}: unexpectedly few matches"
+                );
+            });
+            let v = mtps(probes, secs);
+            record(&Measurement {
+                experiment: "fig06",
+                series: name,
+                x: bytes as f64,
+                value: v,
+                unit: "Mtps",
+            });
+            format!("{v:.0}")
+        };
+
+        let c1 = run("lp-scalar", &mut |s| lp.probe_scalar(&pkeys, &ppays, s));
+        let c2 = run(
+            "lp-horizontal",
+            &mut |sink| dispatch!(backend, s => { lp_h.probe_horizontal(s, &pkeys, &ppays, sink) }),
+        );
+        let c3 = run(
+            "lp-vertical",
+            &mut |sink| dispatch!(backend, s => { lp.probe_vertical(s, &pkeys, &ppays, sink) }),
+        );
+        let c3b = run(
+            "lp-vertical-x4",
+            &mut |sink| dispatch!(backend, s => { lp.probe_vertical_interleaved(s, &pkeys, &ppays, sink) }),
+        );
+        let c4 = run("dh-scalar", &mut |s| dh.probe_scalar(&pkeys, &ppays, s));
+        let c5 = run(
+            "dh-horizontal",
+            &mut |sink| dispatch!(backend, s => { dh_h.probe_horizontal(s, &pkeys, &ppays, sink) }),
+        );
+        let c6 = run(
+            "dh-vertical",
+            &mut |sink| dispatch!(backend, s => { dh.probe_vertical(s, &pkeys, &ppays, sink) }),
+        );
+        let c6b = run(
+            "dh-vertical-x4",
+            &mut |sink| dispatch!(backend, s => { dh.probe_vertical_interleaved(s, &pkeys, &ppays, sink) }),
+        );
+        table.row(vec![fmt_bytes(bytes), c1, c2, c3, c3b, c4, c5, c6, c6b]);
+    }
+    println!("throughput (million probes / second):\n");
+    table.print();
+}

@@ -1,0 +1,113 @@
+//! Figure 8: interleaved build & probe of shared-nothing LP, DH and cuckoo
+//! tables with the table resident in L1, L2 or RAM (1:1 build:probe ratio,
+//! as in the last phase of a partitioned hash join).
+//!
+//! Throughput is `(|R| + |S|) / t` as in the paper.
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin fig08_build_probe [--scale X]`
+
+use rsv_bench::{banner, bench, mtps, record, Measurement, Scale, Table};
+use rsv_hashtab::{CuckooTable, DoubleHashTable, JoinSink, LinearTable};
+use rsv_simd::dispatch;
+
+#[allow(clippy::type_complexity)]
+fn main() {
+    banner(
+        "fig08",
+        "build & probe LP/DH/CH (1:1, shared-nothing)",
+        "vector speedup largest in L1 (paper: 2.6-4x), shrinking in L2 \
+         (2.4-2.7x) and out of cache (1.2-1.4x)",
+    );
+    let scale = Scale::from_env();
+    let total = scale.tuples(16 << 20, 1 << 18); // total tuples processed per cell
+    let backend = rsv_bench::backend();
+    println!(
+        "tuples per cell: {total}, vector backend: {}\n",
+        backend.name()
+    );
+
+    let mut rng = rsv_data::rng(1008);
+    // table sizes: ~4 KB (L1), ~64 KB (L2), ~1 MB (out of private cache)
+    let configs = [
+        ("L1 (4 KB)", 256usize),
+        ("L2 (64 KB)", 4096),
+        ("RAM (4 MB)", 1 << 18),
+    ];
+
+    let mut table = Table::new(&[
+        "residency",
+        "LP scalar",
+        "LP vector",
+        "DH scalar",
+        "DH vector",
+        "CH scalar",
+        "CH vector",
+    ]);
+    for (label, per_table) in configs {
+        let rounds = (total / (2 * per_table)).max(1);
+        let all_keys = rsv_data::unique_u32(per_table * rounds.min(64), &mut rng);
+        let pays: Vec<u32> = (0..per_table as u32).collect();
+
+        let mut sink = JoinSink::with_capacity(per_table * rounds + 64);
+        let mut run = |name: &str, f: &mut dyn FnMut(&[u32], &[u32], &mut JoinSink)| {
+            let secs = bench(3, || {
+                sink.clear();
+                for round in 0..rounds {
+                    let base =
+                        (round % 64) * per_table % all_keys.len().saturating_sub(per_table).max(1);
+                    let keys = &all_keys[base..base + per_table];
+                    f(keys, &pays, &mut sink);
+                }
+            });
+            let v = mtps(2 * per_table * rounds, secs);
+            record(&Measurement {
+                experiment: "fig08",
+                series: name,
+                x: per_table as f64 * 16.0, // approx table bytes
+                value: v,
+                unit: "Mtps",
+            });
+            format!("{v:.0}")
+        };
+
+        let c1 = run("lp-scalar", &mut |k, p, sink| {
+            let mut t = LinearTable::new(k.len(), 0.5);
+            t.build_scalar(k, p);
+            t.probe_scalar(k, p, sink);
+        });
+        let c2 = run("lp-vector", &mut |k, p, sink| {
+            dispatch!(backend, s => {
+                let mut t = LinearTable::new(k.len(), 0.5);
+                t.build_vertical(s, k, p);
+                t.probe_vertical(s, k, p, sink);
+            })
+        });
+        let c3 = run("dh-scalar", &mut |k, p, sink| {
+            let mut t = DoubleHashTable::new(k.len(), 0.5);
+            t.build_scalar(k, p);
+            t.probe_scalar(k, p, sink);
+        });
+        let c4 = run("dh-vector", &mut |k, p, sink| {
+            dispatch!(backend, s => {
+                let mut t = DoubleHashTable::new(k.len(), 0.5);
+                t.build_vertical(s, k, p);
+                t.probe_vertical(s, k, p, sink);
+            })
+        });
+        let c5 = run("ch-scalar", &mut |k, p, sink| {
+            let mut t = CuckooTable::new(k.len(), 0.48);
+            t.build_scalar(k, p).expect("cuckoo build");
+            t.probe_scalar_branching(k, p, sink);
+        });
+        let c6 = run("ch-vector", &mut |k, p, sink| {
+            dispatch!(backend, s => {
+                let mut t = CuckooTable::new(k.len(), 0.48);
+                t.build_vertical(s, k, p).expect("cuckoo build");
+                t.probe_vertical_select(s, k, p, sink);
+            })
+        });
+        table.row(vec![label.to_string(), c1, c2, c3, c4, c5, c6]);
+    }
+    println!("throughput ((|R|+|S|) million tuples / second):\n");
+    table.print();
+}

@@ -1,0 +1,80 @@
+//! Figure 10: Bloom filter probing vs. filter size (5 hash functions,
+//! 10 bits per item, 5% selectivity), scalar vs. vectorized.
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin fig10_bloom [--scale X]`
+
+use rsv_bench::{banner, bench, fmt_bytes, mtps, record, Measurement, Scale, Table};
+use rsv_bloom::BloomFilter;
+use rsv_simd::dispatch;
+
+fn main() {
+    banner(
+        "fig10",
+        "Bloom filter probe (k=5, 10 bits/item, 5% selectivity)",
+        "vector >> scalar, largest for cache-resident filters \
+         (paper: 3.6-7.8x Phi, 1.3-3.1x Haswell)",
+    );
+    let scale = Scale::from_env();
+    let probes = scale.tuples(8 << 20, 1 << 16);
+    let backend = rsv_bench::backend();
+    println!(
+        "probes per size: {probes}, vector backend: {}\n",
+        backend.name()
+    );
+
+    let mut rng = rsv_data::rng(1010);
+    let sizes: Vec<usize> = (12..=26).step_by(2).map(|b| 1usize << b).collect();
+
+    let mut table = Table::new(&["filter size", "scalar", "vector", "speedup"]);
+    for bytes in sizes {
+        let items = bytes * 8 / 10; // 10 bits per item
+        let all = rsv_data::unique_u32(items + items.min(1 << 22), &mut rng);
+        let (inside, outside) = all.split_at(items);
+        let mut filter = BloomFilter::new(items, 10, 5);
+        filter.build(inside);
+        // 5% of probes hit
+        let pkeys: Vec<u32> = (0..probes)
+            .map(|i| {
+                if i % 20 == 0 {
+                    inside[(i * 31) % inside.len()]
+                } else {
+                    outside[(i * 17) % outside.len()]
+                }
+            })
+            .collect();
+        let ppays: Vec<u32> = (0..probes as u32).collect();
+        let mut ok = vec![0u32; probes];
+        let mut op = vec![0u32; probes];
+
+        let s_secs = bench(2, || {
+            filter.probe_scalar(&pkeys, &ppays, &mut ok, &mut op);
+        });
+        let v_secs = bench(2, || {
+            dispatch!(backend, s => { filter.probe_vector(s, &pkeys, &ppays, &mut ok, &mut op) });
+        });
+        let sm = mtps(probes, s_secs);
+        let vm = mtps(probes, v_secs);
+        record(&Measurement {
+            experiment: "fig10",
+            series: "scalar",
+            x: bytes as f64,
+            value: sm,
+            unit: "Mtps",
+        });
+        record(&Measurement {
+            experiment: "fig10",
+            series: "vector",
+            x: bytes as f64,
+            value: vm,
+            unit: "Mtps",
+        });
+        table.row(vec![
+            fmt_bytes(bytes),
+            format!("{sm:.0}"),
+            format!("{vm:.0}"),
+            format!("{:.1}x", vm / sm),
+        ]);
+    }
+    println!("throughput (million probes / second):\n");
+    table.print();
+}

@@ -1,0 +1,76 @@
+//! Figure 11: radix & hash histogram generation vs. fanout — scalar radix,
+//! scalar hash, vector with conflict serialization, vector with replicated
+//! counts, and vector with replicated compressed (8-bit) counts.
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin fig11_histogram [--scale X]`
+
+use rsv_bench::{banner, bench, mtps, record, Measurement, Scale, Table};
+use rsv_partition::histogram::{
+    histogram_scalar, histogram_vector_compressed, histogram_vector_replicated,
+    histogram_vector_serialized,
+};
+use rsv_partition::{HashFn, RadixFn};
+use rsv_simd::dispatch;
+
+fn main() {
+    banner(
+        "fig11",
+        "radix & hash histogram vs. fanout",
+        "replication beats serialization (paper: 2.55x over scalar on Phi); \
+         compression extends the viable fanout once replicated counts \
+         spill out of L1; very large fanouts hurt every vector variant",
+    );
+    let scale = Scale::from_env();
+    let n = scale.tuples(16 << 20, 1 << 16);
+    let backend = rsv_bench::backend();
+    println!("keys: {n}, vector backend: {}\n", backend.name());
+
+    let mut rng = rsv_data::rng(1011);
+    let keys = rsv_data::uniform_u32(n, &mut rng);
+
+    let mut table = Table::new(&[
+        "log2(fanout)",
+        "scalar radix",
+        "scalar hash",
+        "vec serialize",
+        "vec replicate",
+        "vec repl+comp",
+    ]);
+    for bits in 3..=13u32 {
+        let rf = RadixFn::new(0, bits);
+        let hf = HashFn::new(1 << bits);
+        let mut cells = vec![bits.to_string()];
+        let run = |name: &str, f: &mut dyn FnMut() -> Vec<u32>| {
+            let secs = bench(2, || {
+                let h = f();
+                assert_eq!(h.len(), 1 << bits);
+            });
+            let v = mtps(n, secs);
+            record(&Measurement {
+                experiment: "fig11",
+                series: name,
+                x: bits as f64,
+                value: v,
+                unit: "Mtps",
+            });
+            format!("{v:.0}")
+        };
+        cells.push(run("scalar-radix", &mut || histogram_scalar(rf, &keys)));
+        cells.push(run("scalar-hash", &mut || histogram_scalar(hf, &keys)));
+        cells.push(run(
+            "vector-serialize",
+            &mut || dispatch!(backend, s => { histogram_vector_serialized(s, rf, &keys) }),
+        ));
+        cells.push(run(
+            "vector-replicate",
+            &mut || dispatch!(backend, s => { histogram_vector_replicated(s, rf, &keys) }),
+        ));
+        cells.push(run(
+            "vector-repl-compress",
+            &mut || dispatch!(backend, s => { histogram_vector_compressed(s, rf, &keys) }),
+        ));
+        table.row(cells);
+    }
+    println!("throughput (million keys / second):\n");
+    table.print();
+}

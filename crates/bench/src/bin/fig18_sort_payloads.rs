@@ -1,0 +1,82 @@
+//! Figure 18: radixsort with varying payload column counts and widths
+//! (destination replay, one column shuffled at a time).
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin fig18_sort_payloads [--scale X]`
+
+use rsv_bench::{banner, bench, record, Measurement, Scale, Table};
+use rsv_simd::dispatch;
+use rsv_sort::multicol::{lsb_radixsort_multicol, PayloadColumn};
+use rsv_sort::SortConfig;
+
+fn main() {
+    banner(
+        "fig18",
+        "radixsort with varying payloads (32-bit key)",
+        "time grows roughly linearly with total tuple width; 8/16-bit \
+         columns cost about as much as 32-bit ones (compute-bound \
+         shuffling; the paper sorts 8-byte tuples in 0.36s and 36-byte \
+         tuples in 1s at its scale)",
+    );
+    let scale = Scale::from_env();
+    let n = scale.tuples(25_000_000, 1 << 16);
+    let backend = rsv_bench::backend();
+    println!("tuples: {n}, backend: {}\n", backend.name());
+
+    let mut rng = rsv_data::rng(1018);
+    let keys = rsv_data::uniform_u32(n, &mut rng);
+
+    let make = |spec: &str| -> Vec<PayloadColumn> {
+        spec.split('+')
+            .filter(|s| !s.is_empty())
+            .map(|w| match w {
+                "u8" => PayloadColumn::U8(vec![7u8; n]),
+                "u16" => PayloadColumn::U16(vec![7u16; n]),
+                "u32" => PayloadColumn::U32((0..n as u32).collect()),
+                "u64" => PayloadColumn::U64(vec![7u64; n]),
+                other => panic!("unknown width {other}"),
+            })
+            .collect()
+    };
+
+    let specs = [
+        "",
+        "u8",
+        "u16",
+        "u32",
+        "u64",
+        "u32+u32",
+        "u32+u32+u32+u32",
+        "u64+u64+u64+u64",
+    ];
+    let mut table = Table::new(&["payload columns", "tuple bytes", "time (s)", "Mtuples/s"]);
+    for spec in specs {
+        let cols_proto = make(spec);
+        let bytes = 4 + cols_proto.iter().map(|c| c.width()).sum::<usize>();
+        let secs = bench(2, || {
+            let mut k = keys.clone();
+            let mut cols = make(spec);
+            dispatch!(backend, s => {
+                lsb_radixsort_multicol(s, &mut k, &mut cols, &SortConfig::default())
+            });
+        });
+        record(&Measurement {
+            experiment: "fig18",
+            series: if spec.is_empty() { "key-only" } else { spec },
+            x: bytes as f64,
+            value: secs,
+            unit: "seconds",
+        });
+        table.row(vec![
+            if spec.is_empty() {
+                "none".into()
+            } else {
+                spec.to_string()
+            },
+            bytes.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.1}", n as f64 / secs / 1e6),
+        ]);
+    }
+    println!("sort time by payload configuration:\n");
+    table.print();
+}

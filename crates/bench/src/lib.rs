@@ -1,0 +1,230 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index). They share:
+//!
+//! * [`Scale`] — a global problem-size multiplier (`--scale 0.1` or the
+//!   `RSV_SCALE` environment variable) so the experiments fit any machine,
+//! * [`bench`] — best-of-`reps` wall-clock measurement,
+//! * [`Table`] — aligned console tables shaped like the paper's plots,
+//! * [`record`] — optional JSON-lines output (`RSV_JSON=path`) consumed by
+//!   the EXPERIMENTS.md generator.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Problem-size multiplier for all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Parse from `--scale X` argv or the `RSV_SCALE` environment variable
+    /// (default 1.0).
+    pub fn from_env() -> Scale {
+        let mut scale = std::env::var("RSV_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    scale = v;
+                }
+            }
+        }
+        assert!(scale > 0.0, "scale must be positive");
+        Scale(scale)
+    }
+
+    /// Scale a tuple count (at least `min`).
+    pub fn tuples(&self, base: usize, min: usize) -> usize {
+        ((base as f64 * self.0) as usize).max(min)
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds of `f`.
+pub fn bench(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Million tuples per second.
+pub fn mtps(tuples: usize, secs: f64) -> f64 {
+    tuples as f64 / secs / 1e6
+}
+
+/// A simple aligned console table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Print with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Serialize)]
+pub struct Measurement<'a> {
+    /// Experiment id, e.g. `"fig05"`.
+    pub experiment: &'a str,
+    /// Series (line in the figure), e.g. `"vector-selstore-indirect"`.
+    pub series: &'a str,
+    /// X-axis value (selectivity, table size, fanout, ...).
+    pub x: f64,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of `value`, e.g. `"Mtps"` or `"seconds"`.
+    pub unit: &'a str,
+}
+
+/// Append a measurement to the JSON-lines file named by `RSV_JSON`
+/// (silently does nothing when the variable is unset).
+pub fn record(m: &Measurement<'_>) {
+    if let Ok(path) = std::env::var("RSV_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{}", serde_json::to_string(m).unwrap());
+        }
+    }
+}
+
+/// The SIMD backend experiments should use: `RSV_BACKEND=avx512|avx2|portable`
+/// or `--backend NAME`, defaulting to the best available. Lets one host
+/// reproduce both the paper's "Xeon Phi" (avx512) and "Haswell" (avx2)
+/// columns.
+pub fn backend() -> rsv_simd::Backend {
+    let mut name = std::env::var("RSV_BACKEND").ok();
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--backend" {
+            name = args.get(i + 1).cloned();
+        }
+    }
+    match name.as_deref() {
+        None => rsv_simd::Backend::best(),
+        Some(n) => rsv_simd::Backend::all_available()
+            .into_iter()
+            .find(|b| b.name() == n)
+            .unwrap_or_else(|| panic!("backend {n} not available on this host")),
+    }
+}
+
+/// Format a byte count the way the paper's x-axes do (4 KB .. 64 MB).
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} KB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, title: &str, shape: &str) {
+    println!("=== {id}: {title} ===");
+    println!("paper-expected shape: {shape}");
+    let r = rsv_exec::platform_report();
+    println!(
+        "host: {} logical cpus, simd {} bits ({})\n",
+        r.logical_cpus,
+        r.simd_width_bits(),
+        r.model_name.as_deref().unwrap_or("unknown cpu")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_tuples() {
+        let s = Scale(0.5);
+        assert_eq!(s.tuples(1000, 1), 500);
+        assert_eq!(s.tuples(10, 64), 64);
+    }
+
+    #[test]
+    fn bench_returns_best() {
+        let secs = bench(3, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert!(secs >= 0.001);
+    }
+
+    #[test]
+    fn mtps_math() {
+        assert!((mtps(5_000_000, 1.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(4096), "4 KB");
+        assert_eq!(fmt_bytes(64 << 20), "64 MB");
+    }
+
+    #[test]
+    fn table_prints() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+}

@@ -1,0 +1,47 @@
+//! Property tests: Bloom filter invariants on arbitrary inputs.
+
+use proptest::prelude::*;
+use rsv_bloom::BloomFilter;
+use rsv_simd::Backend;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The defining invariant: no false negatives, for any build set, any
+    /// probe set, any k, on any backend — and vector output is exactly the
+    /// scalar output as a multiset.
+    #[test]
+    fn no_false_negatives_and_backends_agree(
+        build in proptest::collection::vec(any::<u32>(), 0..300),
+        probe in proptest::collection::vec(any::<u32>(), 0..300),
+        k in 1usize..6,
+        bits_per_item in 4usize..16,
+    ) {
+        let mut f = BloomFilter::new(build.len(), bits_per_item, k);
+        f.build(&build);
+        for &key in &build {
+            prop_assert!(f.contains(key), "false negative for {key:#x}");
+        }
+
+        let pays: Vec<u32> = (0..probe.len() as u32).collect();
+        let mut sk = vec![0u32; probe.len()];
+        let mut sp = vec![0u32; probe.len()];
+        let ns = f.probe_scalar(&probe, &pays, &mut sk, &mut sp);
+        let expected = rsv_data::multiset_fingerprint(sk[..ns].iter().zip(&sp[..ns]));
+
+        for backend in Backend::all_available() {
+            rsv_simd::dispatch!(backend, s => {
+                let mut vk = vec![0u32; probe.len()];
+                let mut vp = vec![0u32; probe.len()];
+                let nv = f.probe_vector(s, &probe, &pays, &mut vk, &mut vp);
+                prop_assert_eq!(ns, nv, "count, backend {}", backend.name());
+                prop_assert_eq!(
+                    expected,
+                    rsv_data::multiset_fingerprint(vk[..nv].iter().zip(&vp[..nv])),
+                    "multiset, backend {}",
+                    backend.name()
+                );
+            });
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! High-level API for the SIGMOD 2015 *Rethinking SIMD Vectorization for
+//! In-Memory Databases* reproduction.
+//!
+//! This crate re-exports every operator crate and offers [`Engine`], a
+//! convenience wrapper that picks the best SIMD backend at runtime and
+//! exposes the paper's operators — selection scans, hash joins, Bloom
+//! semi-joins, partitioning and sorting — as one-call methods.
+//!
+//! ```
+//! use rsv_core::{Engine, Relation};
+//!
+//! let engine = Engine::new();
+//! let orders = Relation::with_rid_payloads(vec![40, 10, 30, 20]);
+//! let cheap = engine.select(&orders, 0, 25);
+//! assert_eq!(cheap.keys, vec![10, 20]);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use rsv_bloom as bloom;
+pub use rsv_data as data;
+pub use rsv_exec as exec;
+pub use rsv_hashtab as hashtab;
+pub use rsv_join as join;
+pub use rsv_partition as partition;
+pub use rsv_scan as scan;
+pub use rsv_simd as simd;
+pub use rsv_sort as sort;
+
+pub use rsv_bloom::BloomFilter;
+pub use rsv_data::Relation;
+pub use rsv_hashtab::JoinSink;
+pub use rsv_join::{JoinResult, JoinVariant};
+pub use rsv_simd::Backend;
+pub use rsv_sort::SortConfig;
+
+use rsv_partition::PartitionFn;
+use rsv_scan::ScanPredicate;
+use rsv_simd::dispatch;
+
+/// A vectorized in-memory query engine over 32-bit key/payload columns.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    backend: Backend,
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Engine on the best available SIMD backend, single-threaded.
+    pub fn new() -> Self {
+        Engine {
+            backend: Backend::best(),
+            threads: 1,
+        }
+    }
+
+    /// Engine on a specific backend.
+    pub fn with_backend(backend: Backend) -> Self {
+        Engine {
+            backend,
+            threads: 1,
+        }
+    }
+
+    /// Set the worker thread count for parallel operators.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1);
+        self.threads = threads;
+        self
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Selection scan: all tuples with `lower ≤ key ≤ upper` (paper §4,
+    /// vectorized Algorithm 3).
+    pub fn select(&self, rel: &Relation, lower: u32, upper: u32) -> Relation {
+        let pred = ScanPredicate { lower, upper };
+        let mut out_keys = vec![0u32; rel.len()];
+        let mut out_pays = vec![0u32; rel.len()];
+        let n = dispatch!(self.backend, s => {
+            rsv_scan::scan_vector_selstore_indirect(
+                s, &rel.keys, &rel.payloads, pred, &mut out_keys, &mut out_pays,
+            )
+        });
+        out_keys.truncate(n);
+        out_pays.truncate(n);
+        Relation::new(out_keys, out_pays)
+    }
+
+    /// Hash join `inner ⋈ outer` on the key columns using the paper's
+    /// fastest variant (max-partition, §9). Returns `(key, inner payload,
+    /// outer payload)` triples.
+    pub fn hash_join(&self, inner: &Relation, outer: &Relation) -> JoinResult {
+        self.hash_join_variant(inner, outer, JoinVariant::MaxPartition)
+    }
+
+    /// Hash join with an explicit variant.
+    pub fn hash_join_variant(
+        &self,
+        inner: &Relation,
+        outer: &Relation,
+        variant: JoinVariant,
+    ) -> JoinResult {
+        dispatch!(self.backend, s => {
+            match variant {
+                JoinVariant::NoPartition => {
+                    rsv_join::join_no_partition(s, true, inner, outer, self.threads)
+                }
+                JoinVariant::MinPartition => {
+                    rsv_join::join_min_partition(s, true, inner, outer, self.threads)
+                }
+                JoinVariant::MaxPartition => {
+                    rsv_join::join_max_partition(s, true, inner, outer, self.threads)
+                }
+            }
+        })
+    }
+
+    /// Bloom-filter semi-join (paper §6): keep the tuples of `rel` whose
+    /// key is (probably) present in `filter_keys`.
+    pub fn bloom_semijoin(&self, rel: &Relation, filter_keys: &[u32]) -> Relation {
+        let mut filter = BloomFilter::new(filter_keys.len(), 10, 5);
+        filter.build(filter_keys);
+        let mut out_keys = vec![0u32; rel.len()];
+        let mut out_pays = vec![0u32; rel.len()];
+        let n = dispatch!(self.backend, s => {
+            filter.probe_vector(s, &rel.keys, &rel.payloads, &mut out_keys, &mut out_pays)
+        });
+        out_keys.truncate(n);
+        out_pays.truncate(n);
+        Relation::new(out_keys, out_pays)
+    }
+
+    /// Stable LSB radixsort by key (paper §8).
+    pub fn sort(&self, rel: &mut Relation) {
+        let cfg = SortConfig {
+            radix_bits: 8,
+            threads: self.threads,
+        };
+        let mut keys = std::mem::take(&mut rel.keys);
+        let mut pays = std::mem::take(&mut rel.payloads);
+        dispatch!(self.backend, s => {
+            rsv_sort::lsb_radixsort_vector(s, &mut keys, &mut pays, &cfg)
+        });
+        rel.keys = keys;
+        rel.payloads = pays;
+    }
+
+    /// Hash-partition a relation into `fanout` parts (paper §7, buffered
+    /// shuffling). Returns the partitioned relation and the partition
+    /// start offsets.
+    pub fn hash_partition(&self, rel: &Relation, fanout: usize) -> (Relation, Vec<u32>) {
+        let f = rsv_partition::HashFn::new(fanout);
+        let hist = dispatch!(self.backend, s => {
+            rsv_partition::histogram::histogram_vector_replicated(s, f, &rel.keys)
+        });
+        let mut out_keys = vec![0u32; rel.len()];
+        let mut out_pays = vec![0u32; rel.len()];
+        let starts = dispatch!(self.backend, s => {
+            rsv_partition::shuffle::shuffle_vector_buffered(
+                s, f, &rel.keys, &rel.payloads, &hist, &mut out_keys, &mut out_pays,
+            )
+        });
+        (Relation::new(out_keys, out_pays), starts)
+    }
+
+    /// Which partition a key belongs to under [`Engine::hash_partition`].
+    pub fn hash_partition_of(&self, key: u32, fanout: usize) -> usize {
+        rsv_partition::HashFn::new(fanout).partition(key)
+    }
+
+    /// Group-by aggregation: per distinct key, `COUNT(*)` and
+    /// `SUM(payload)` (vectorized hash aggregation, paper §5's second
+    /// hash-table use case). Returns `(key, count, sum)` rows in
+    /// unspecified order.
+    ///
+    /// `expected_groups` sizes the aggregation table; it may be any upper
+    /// bound (e.g. `rel.len()`).
+    pub fn group_by_sum(&self, rel: &Relation, expected_groups: usize) -> Vec<(u32, u32, u64)> {
+        let mut table = rsv_hashtab::GroupAggTable::new(expected_groups.max(1), 0.5);
+        dispatch!(self.backend, s => {
+            table.update_vector(s, &rel.keys, &rel.payloads)
+        });
+        table.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new().with_threads(2)
+    }
+
+    #[test]
+    fn select_filters() {
+        let rel = Relation::with_rid_payloads(vec![5, 50, 500, 5000]);
+        let out = engine().select(&rel, 10, 1000);
+        assert_eq!(out.keys, vec![50, 500]);
+        assert_eq!(out.payloads, vec![1, 2]);
+    }
+
+    #[test]
+    fn join_variants_agree() {
+        let mut rng = rsv_data::rng(301);
+        let w = rsv_data::join_workload(2_000, 6_000, 1.0, 0.8, &mut rng);
+        let e = engine();
+        let results: Vec<JoinResult> = JoinVariant::ALL
+            .iter()
+            .map(|&v| e.hash_join_variant(&w.inner, &w.outer, v))
+            .collect();
+        assert_eq!(results[0].matches(), w.expected_matches);
+        let fp = results[0].fingerprint();
+        for r in &results[1..] {
+            assert_eq!(r.matches(), w.expected_matches);
+            assert_eq!(r.fingerprint(), fp);
+        }
+    }
+
+    #[test]
+    fn sort_orders_relation() {
+        let mut rng = rsv_data::rng(302);
+        let mut rel = Relation::with_rid_payloads(rsv_data::uniform_u32(10_000, &mut rng));
+        let orig = rel.clone();
+        engine().sort(&mut rel);
+        assert!(rel.keys.windows(2).all(|w| w[0] <= w[1]));
+        for (k, p) in rel.iter() {
+            assert_eq!(orig.keys[p as usize], k);
+        }
+    }
+
+    #[test]
+    fn bloom_semijoin_no_false_negatives() {
+        let mut rng = rsv_data::rng(303);
+        let all = rsv_data::unique_u32(3_000, &mut rng);
+        let (present, absent) = all.split_at(1_000);
+        let rel =
+            Relation::with_rid_payloads(present.iter().chain(absent.iter()).copied().collect());
+        let out = engine().bloom_semijoin(&rel, present);
+        // every present key survives; most absent keys are gone
+        assert!(out.len() >= 1_000);
+        assert!(out.len() < 1_000 + 200);
+        let kept: std::collections::HashSet<u32> = out.keys.iter().copied().collect();
+        assert!(present.iter().all(|k| kept.contains(k)));
+    }
+
+    #[test]
+    fn partition_respects_function() {
+        let mut rng = rsv_data::rng(304);
+        let rel = Relation::with_rid_payloads(rsv_data::uniform_u32(5_000, &mut rng));
+        let e = engine();
+        let (out, starts) = e.hash_partition(&rel, 16);
+        assert_eq!(out.len(), rel.len());
+        assert_eq!(starts.len(), 16);
+        for p in 0..16 {
+            let end = if p + 1 < 16 {
+                starts[p + 1] as usize
+            } else {
+                out.len()
+            };
+            for q in starts[p] as usize..end {
+                assert_eq!(e.hash_partition_of(out.keys[q], 16), p);
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_sum_matches_reference() {
+        let mut rng = rsv_data::rng(305);
+        let keys: Vec<u32> = rsv_data::uniform_u32(20_000, &mut rng)
+            .iter()
+            .map(|k| k % 500)
+            .collect();
+        let rel = Relation::new(keys.clone(), rsv_data::uniform_u32(20_000, &mut rng));
+        let rows = engine().group_by_sum(&rel, 500);
+        let mut expected: std::collections::HashMap<u32, (u32, u64)> = Default::default();
+        for (k, v) in rel.iter() {
+            let e = expected.entry(k).or_default();
+            e.0 += 1;
+            e.1 += u64::from(v);
+        }
+        assert_eq!(rows.len(), expected.len());
+        for (k, c, s) in rows {
+            assert_eq!(expected[&k], (c, s), "group {k}");
+        }
+    }
+
+    #[test]
+    fn engine_runs_on_every_backend() {
+        for b in Backend::all_available() {
+            let e = Engine::with_backend(b);
+            let rel = Relation::with_rid_payloads(vec![3, 1, 2]);
+            let out = e.select(&rel, 2, 3);
+            assert_eq!(out.len(), 2, "backend {}", b.name());
+        }
+    }
+}

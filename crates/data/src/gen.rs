@@ -1,0 +1,283 @@
+//! Synthetic workload generators.
+
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+
+use crate::relation::Relation;
+use crate::Rng;
+
+/// `n` uniformly distributed 32-bit keys (duplicates possible).
+pub fn uniform_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` *distinct* 32-bit keys in random order.
+///
+/// Uses a keyed Feistel-style bijection over `u32`, so arbitrarily large
+/// `n` needs no duplicate-rejection bookkeeping.
+///
+/// # Panics
+/// If `n > u32::MAX as usize + 1`.
+pub fn unique_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
+    assert!(
+        n <= u32::MAX as usize + 1,
+        "cannot draw more than 2^32 distinct u32 keys"
+    );
+    let k0: u32 = rng.gen::<u32>() | 1; // odd multipliers are invertible mod 2^32
+    let k1: u32 = rng.gen::<u32>() | 1;
+    let x0: u32 = rng.gen();
+    let x1: u32 = rng.gen();
+    (0..n as u64)
+        .map(|i| {
+            // Each step is a bijection on u32, so the composition is too.
+            let mut v = i as u32;
+            v = v.wrapping_mul(k0);
+            v ^= x0;
+            v = v.rotate_left(13);
+            v = v.wrapping_mul(k1);
+            v ^= x1;
+            v
+        })
+        .collect()
+}
+
+/// Zipf-distributed keys over the domain `0..domain` with exponent `theta`.
+///
+/// The paper notes that joins, partitioning, and sorting are *faster* under
+/// skew; this generator exists to exercise that claim in tests and the
+/// skew-ablation benches.
+pub fn zipf_u32(n: usize, domain: u32, theta: f64, rng: &mut Rng) -> Vec<u32> {
+    assert!(domain > 0 && theta > 0.0);
+    // Inverse-CDF sampling over a truncated harmonic series, using the
+    // standard approximation for large domains.
+    let zeta: f64 = (1..=domain.min(10_000))
+        .map(|i| 1.0 / (f64::from(i)).powf(theta))
+        .sum();
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let mut cdf = 0.0;
+            let mut pick = domain - 1;
+            for i in 1..=domain.min(10_000) {
+                cdf += 1.0 / f64::from(i).powf(theta) / zeta;
+                if u <= cdf {
+                    pick = i - 1;
+                    break;
+                }
+            }
+            pick
+        })
+        .collect()
+}
+
+/// Predicate bounds `(k_lower, k_upper)` selecting approximately
+/// `selectivity` (in `[0, 1]`) of uniformly distributed `u32` keys.
+pub fn selection_bounds(selectivity: f64) -> (u32, u32) {
+    assert!(
+        (0.0..=1.0).contains(&selectivity),
+        "selectivity must be in [0, 1]"
+    );
+    let span = (selectivity * 2f64.powi(32)).round() as u64;
+    if span == 0 {
+        // Empty range: lower > upper never matches.
+        (1, 0)
+    } else {
+        (0, (span - 1).min(u32::MAX as u64) as u32)
+    }
+}
+
+/// `p - 1` sorted splitters that partition uniform `u32` keys into `p`
+/// near-equal ranges (for range partitioning, Section 7.2).
+pub fn splitters(p: usize) -> Vec<u32> {
+    assert!(p >= 1);
+    (1..p)
+        .map(|i| ((i as u64) * (1u64 << 32) / (p as u64)) as u32)
+        .map(|v| v.saturating_sub(1))
+        .collect()
+}
+
+/// Shuffle a vector in place with the deterministic RNG.
+pub fn shuffle<T>(v: &mut [T], rng: &mut Rng) {
+    v.shuffle(rng);
+}
+
+/// A build/probe workload for hash tables and joins.
+#[derive(Clone, Debug)]
+pub struct JoinWorkload {
+    /// Inner (build) relation.
+    pub inner: Relation,
+    /// Outer (probe) relation.
+    pub outer: Relation,
+    /// Expected number of join results.
+    pub expected_matches: usize,
+}
+
+/// Generate a join workload (paper Figures 8, 9, 15, 19).
+///
+/// * `build` — number of tuples in the inner (build) relation,
+/// * `probe` — number of tuples in the outer (probe) relation,
+/// * `repeats` — average number of copies of each distinct inner key
+///   (`1.0` = unique keys, the foreign-key join case),
+/// * `match_fraction` — fraction of probe tuples whose key exists in the
+///   inner relation.
+///
+/// With `repeats = r` and `match_fraction = 1/r` the expected output size
+/// stays equal to `probe`, which is how Figure 9 varies repeats "with the
+/// same output size".
+pub fn join_workload(
+    build: usize,
+    probe: usize,
+    repeats: f64,
+    match_fraction: f64,
+    rng: &mut Rng,
+) -> JoinWorkload {
+    assert!(build > 0 && probe > 0);
+    assert!(repeats >= 1.0);
+    assert!((0.0..=1.0).contains(&match_fraction));
+
+    let distinct = ((build as f64 / repeats).ceil() as usize).clamp(1, build);
+    // Draw distinct inner keys plus a disjoint pool of non-matching keys for
+    // the probe side, from one unique stream.
+    let non_matching = probe - (probe as f64 * match_fraction).round() as usize;
+    let pool = unique_u32(distinct + non_matching.min(probe), rng);
+    let (inner_keys_distinct, miss_pool) = pool.split_at(distinct);
+
+    let mut inner_keys = Vec::with_capacity(build);
+    for i in 0..build {
+        inner_keys.push(inner_keys_distinct[i % distinct]);
+    }
+    shuffle(&mut inner_keys, rng);
+
+    let mut outer_keys = Vec::with_capacity(probe);
+    for i in 0..probe {
+        if i < probe - non_matching {
+            outer_keys.push(inner_keys_distinct[rng.gen_range(0..distinct)]);
+        } else {
+            outer_keys.push(miss_pool[i % miss_pool.len().max(1)]);
+        }
+    }
+    shuffle(&mut outer_keys, rng);
+
+    // Every matching probe key hits all copies of that key in the inner
+    // relation. Count exactly.
+    let copies = build / distinct + usize::from(!build.is_multiple_of(distinct));
+    let mut per_key_copies = vec![0usize; distinct];
+    for i in 0..build {
+        per_key_copies[i % distinct] += 1;
+    }
+    debug_assert!(per_key_copies
+        .iter()
+        .all(|&c| c == per_key_copies[0] || c + 1 >= copies));
+    use std::collections::HashMap;
+    let copy_of: HashMap<u32, usize> = inner_keys_distinct
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, per_key_copies[i]))
+        .collect();
+    let expected_matches = outer_keys
+        .iter()
+        .map(|k| copy_of.get(k).copied().unwrap_or(0))
+        .sum();
+
+    JoinWorkload {
+        inner: Relation::with_rid_payloads(inner_keys),
+        outer: Relation::with_rid_payloads(outer_keys),
+        expected_matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn unique_keys_are_unique() {
+        let mut rng = crate::rng(42);
+        let keys = unique_u32(100_000, &mut rng);
+        let set: HashSet<u32> = keys.iter().copied().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn unique_keys_differ_between_seeds() {
+        let a = unique_u32(16, &mut crate::rng(1));
+        let b = unique_u32(16, &mut crate::rng(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = uniform_u32(64, &mut crate::rng(7));
+        let b = uniform_u32(64, &mut crate::rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selection_bounds_hit_requested_selectivity() {
+        let mut rng = crate::rng(3);
+        let keys = uniform_u32(200_000, &mut rng);
+        for sel in [0.0, 0.01, 0.1, 0.5, 1.0] {
+            let (lo, hi) = selection_bounds(sel);
+            let hits = keys.iter().filter(|&&k| k >= lo && k <= hi).count();
+            let measured = hits as f64 / keys.len() as f64;
+            assert!(
+                (measured - sel).abs() < 0.01,
+                "sel {sel} measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitters_are_sorted_and_balanced() {
+        let sp = splitters(8);
+        assert_eq!(sp.len(), 7);
+        assert!(sp.windows(2).all(|w| w[0] < w[1]));
+        // uniform keys spread about evenly
+        let keys = uniform_u32(80_000, &mut crate::rng(9));
+        let mut counts = [0usize; 8];
+        for k in keys {
+            let p = sp.partition_point(|&s| s < k);
+            counts[p] += 1;
+        }
+        for c in counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 1_000.0,
+                "unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_workload_unique_keys() {
+        let mut rng = crate::rng(11);
+        let w = join_workload(1_000, 10_000, 1.0, 1.0, &mut rng);
+        assert_eq!(w.inner.len(), 1_000);
+        assert_eq!(w.outer.len(), 10_000);
+        assert_eq!(w.expected_matches, 10_000);
+        let distinct: HashSet<u32> = w.inner.keys.iter().copied().collect();
+        assert_eq!(distinct.len(), 1_000);
+    }
+
+    #[test]
+    fn join_workload_with_repeats_keeps_output_size() {
+        let mut rng = crate::rng(13);
+        let w = join_workload(1_000, 10_000, 2.5, 0.4, &mut rng);
+        // output size stays ~probe: matching fraction 0.4 x 2.5 copies
+        let expected = 10_000.0 * 0.4 * 2.5;
+        assert!(
+            (w.expected_matches as f64 - expected).abs() / expected < 0.05,
+            "expected ~{expected}, got {}",
+            w.expected_matches
+        );
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = crate::rng(17);
+        let keys = zipf_u32(10_000, 1000, 1.0, &mut rng);
+        let zeros = keys.iter().filter(|&&k| k == 0).count();
+        // under zipf(1.0) the hottest key is far above uniform frequency
+        assert!(zeros > 10 * (10_000 / 1000));
+    }
+}

@@ -1,0 +1,30 @@
+//! Relations and synthetic workload generators.
+//!
+//! The paper evaluates every operator on synthetically generated, uniformly
+//! distributed 32-bit columns (Section 10: "All data are synthetically
+//! generated in memory and follow the uniform distribution"). This crate
+//! provides those workloads deterministically (seeded), plus the verification
+//! helpers the experiment harness uses to check operator output cheaply.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod gen;
+mod relation;
+mod verify;
+
+pub use gen::{
+    join_workload, selection_bounds, shuffle, splitters, uniform_u32, unique_u32, zipf_u32,
+    JoinWorkload,
+};
+pub use relation::Relation;
+pub use verify::{multiset_fingerprint, sum_u64};
+
+/// Deterministic RNG used throughout the workloads.
+pub type Rng = rand::rngs::StdRng;
+
+/// Construct the deterministic RNG from a seed.
+pub fn rng(seed: u64) -> Rng {
+    use rand::SeedableRng;
+    Rng::seed_from_u64(seed)
+}

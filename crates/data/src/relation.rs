@@ -1,0 +1,67 @@
+//! Column-oriented relations.
+
+/// A column-store relation of 32-bit keys with one 32-bit payload column.
+///
+/// This is the tuple shape used by almost every experiment in the paper
+/// ("32-bit key & payload"). Multi-column payload experiments (Figures 18
+/// and 19) carry extra columns alongside.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Relation {
+    /// The key column.
+    pub keys: Vec<u32>,
+    /// The payload column (usually record ids).
+    pub payloads: Vec<u32>,
+}
+
+impl Relation {
+    /// A relation whose payloads are the record ids `0..keys.len()`.
+    pub fn with_rid_payloads(keys: Vec<u32>) -> Self {
+        let payloads = (0..keys.len() as u32).collect();
+        Relation { keys, payloads }
+    }
+
+    /// Build from parallel key/payload columns.
+    ///
+    /// # Panics
+    /// If the columns have different lengths.
+    pub fn new(keys: Vec<u32>, payloads: Vec<u32>) -> Self {
+        assert_eq!(keys.len(), payloads.len(), "column length mismatch");
+        Relation { keys, payloads }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterate over `(key, payload)` tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.keys.iter().copied().zip(self.payloads.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rid_payloads() {
+        let r = Relation::with_rid_payloads(vec![5, 6, 7]);
+        assert_eq!(r.payloads, vec![0, 1, 2]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        let tuples: Vec<_> = r.iter().collect();
+        assert_eq!(tuples, vec![(5, 0), (6, 1), (7, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn mismatched_columns_panic() {
+        let _ = Relation::new(vec![1], vec![]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cheap output-verification helpers for the experiment harness.
+//!
+//! Operators like joins and partitioning may legally reorder their output
+//! (the paper's vertically vectorized probing is explicitly *unstable*), so
+//! experiments verify results with order-independent fingerprints instead of
+//! elementwise comparison.
+
+/// Sum of a `u32` column, widened (never wraps for realistic sizes).
+pub fn sum_u64(column: &[u32]) -> u64 {
+    column.iter().map(|&x| u64::from(x)).sum()
+}
+
+/// An order-independent fingerprint of a multiset of tuples.
+///
+/// Combines a commutative sum and xor of a mixed tuple hash: equal
+/// multisets always produce equal fingerprints, and unequal ones collide
+/// with negligible probability.
+pub fn multiset_fingerprint<I>(tuples: I) -> (u64, u64)
+where
+    I: IntoIterator,
+    I::Item: core::hash::Hash,
+{
+    use core::hash::{Hash, Hasher};
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for t in tuples {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        t.hash(&mut h);
+        let v = h.finish();
+        sum = sum.wrapping_add(v);
+        xor ^= v.rotate_left(17);
+    }
+    (sum, xor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_widens() {
+        assert_eq!(sum_u64(&[u32::MAX, u32::MAX]), 2 * u64::from(u32::MAX));
+        assert_eq!(sum_u64(&[]), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = multiset_fingerprint([(1u32, 2u32), (3, 4), (5, 6)]);
+        let b = multiset_fingerprint([(5u32, 6u32), (1, 2), (3, 4)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_detects_differences() {
+        let a = multiset_fingerprint([(1u32, 2u32), (3, 4)]);
+        let b = multiset_fingerprint([(1u32, 2u32), (3, 5)]);
+        let c = multiset_fingerprint([(1u32, 2u32), (3, 4), (3, 4)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

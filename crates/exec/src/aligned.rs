@@ -1,0 +1,146 @@
+//! Cache-line aligned, heap-allocated buffers.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+/// The alignment used for all buffers: one cache line / one 512-bit vector.
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-size, zero-initialized, 64-byte aligned buffer of `T`.
+///
+/// Streaming (non-temporal) stores and the paper's buffered shuffling
+/// (Section 7.4) require buffers aligned to the cache line; `Vec<T>` gives
+/// no such guarantee. `AlignedVec` dereferences to a slice for normal use.
+pub struct AlignedVec<T: Copy> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively, like Vec.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+// SAFETY: shared access is only through &self -> &[T].
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Allocate a zero-initialized buffer of `len` elements.
+    ///
+    /// # Panics
+    /// If `len * size_of::<T>()` overflows `isize` or the allocation fails.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedVec {
+                ptr: core::ptr::null_mut(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0, T is not a ZST by the
+        // size assert in `layout`).
+        let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        AlignedVec { ptr, len }
+    }
+
+    fn layout(len: usize) -> Layout {
+        assert!(
+            core::mem::size_of::<T>() > 0,
+            "AlignedVec does not support ZSTs"
+        );
+        Layout::array::<T>(len)
+            .and_then(|l| l.align_to(CACHE_LINE))
+            .expect("AlignedVec: allocation too large")
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        if self.len == 0 {
+            &[]
+        } else {
+            // SAFETY: ptr is valid for len elements, aligned, initialized.
+            unsafe { core::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        if self.len == 0 {
+            &mut []
+        } else {
+            // SAFETY: exclusive access through &mut self.
+            unsafe { core::slice::from_raw_parts_mut(self.ptr, self.len) }
+        }
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `zeroed` with the same layout.
+            unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl<T: Copy + core::fmt::Debug> core::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_aligned() {
+        let v: AlignedVec<u32> = AlignedVec::zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0));
+        assert_eq!(v.as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn mutation_roundtrip() {
+        let mut v: AlignedVec<u64> = AlignedVec::zeroed(64);
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = i as u64 * 3;
+        }
+        assert_eq!(v[63], 189);
+        assert_eq!(&v[..3], &[0, 3, 6]);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let v: AlignedVec<u32> = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(&*v, &[] as &[u32]);
+    }
+
+    #[test]
+    fn send_between_threads() {
+        let mut v: AlignedVec<u32> = AlignedVec::zeroed(16);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                v[0] = 42;
+            });
+        });
+        assert_eq!(v[0], 42);
+    }
+}

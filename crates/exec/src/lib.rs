@@ -1,0 +1,22 @@
+//! Execution substrate: thread parallelism, cache-aligned buffers, timing
+//! and platform inspection.
+//!
+//! The paper parallelizes each operator by splitting the input equally
+//! among threads and synchronizing with barriers (Sections 8 and 9); this
+//! crate provides exactly those primitives, plus the 64-byte aligned
+//! buffers the buffered-shuffling and streaming-store code paths need.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod aligned;
+mod parallel;
+mod platform;
+mod shared;
+mod timing;
+
+pub use aligned::AlignedVec;
+pub use parallel::{chunk_ranges, parallel_scope, ParallelContext};
+pub use platform::{platform_report, PlatformReport};
+pub use shared::SharedBuffer;
+pub use timing::{throughput_mtps, time, time_n, Timed};

@@ -1,0 +1,150 @@
+//! Thread parallelism: equal input splitting plus barrier synchronization,
+//! the paper's parallelization scheme for individual operators.
+
+use std::ops::Range;
+use std::sync::Barrier;
+
+/// Split `0..n` into `t` contiguous ranges whose lengths differ by at most
+/// one, with every range start (except possibly the last ranges) aligned to
+/// `align` elements so vector kernels stay aligned.
+pub fn chunk_ranges(n: usize, t: usize, align: usize) -> Vec<Range<usize>> {
+    assert!(t > 0, "need at least one thread");
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    let per = n / t;
+    let mut starts = Vec::with_capacity(t + 1);
+    let mut acc = 0usize;
+    for i in 0..t {
+        starts.push(acc.min(n));
+        let mut next = acc + per + usize::from(i < n % t);
+        next &= !(align - 1);
+        acc = next;
+    }
+    starts.push(n);
+    // Fix up: make monotone and cover everything.
+    let mut ranges = Vec::with_capacity(t);
+    for i in 0..t {
+        let start = starts[i].min(n);
+        let end = if i + 1 == t { n } else { starts[i + 1].min(n) };
+        ranges.push(start..end.max(start));
+    }
+    ranges
+}
+
+/// Per-thread context handed to [`parallel_scope`] workers.
+pub struct ParallelContext<'a> {
+    /// This worker's index in `0..threads`.
+    pub thread_id: usize,
+    /// Total number of workers.
+    pub threads: usize,
+    barrier: &'a Barrier,
+}
+
+impl ParallelContext<'_> {
+    /// Wait until every worker reaches this point (the paper's
+    /// histogram/shuffle and build/probe phase boundaries).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Run `t` workers, giving each a [`ParallelContext`], and collect their
+/// results in thread-id order.
+///
+/// Workers run on `t - 1` spawned threads plus the calling thread, so
+/// `parallel_scope(1, f)` has no spawn overhead.
+pub fn parallel_scope<R, F>(t: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ParallelContext<'_>) -> R + Sync,
+{
+    assert!(t > 0, "need at least one thread");
+    let barrier = Barrier::new(t);
+    if t == 1 {
+        let ctx = ParallelContext {
+            thread_id: 0,
+            threads: 1,
+            barrier: &barrier,
+        };
+        return vec![f(&ctx)];
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(t - 1);
+        for thread_id in 1..t {
+            let barrier = &barrier;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let ctx = ParallelContext {
+                    thread_id,
+                    threads: t,
+                    barrier,
+                };
+                f(&ctx)
+            }));
+        }
+        let ctx = ParallelContext {
+            thread_id: 0,
+            threads: t,
+            barrier: &barrier,
+        };
+        let first = f(&ctx);
+        let mut results = vec![first];
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        for n in [0usize, 1, 15, 16, 17, 1000, 4096] {
+            for t in [1usize, 2, 3, 7, 8] {
+                let ranges = chunk_ranges(n, t, 16);
+                assert_eq!(ranges.len(), t);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "n={n} t={t} {ranges:?}");
+                }
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                // interior boundaries are aligned
+                for r in &ranges[..t - 1] {
+                    assert_eq!(r.end % 16, 0, "n={n} t={t} {ranges:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scope_runs_every_worker_and_orders_results() {
+        let ids = parallel_scope(4, |ctx| ctx.thread_id * 10);
+        assert_eq!(ids, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let counter = AtomicUsize::new(0);
+        let results = parallel_scope(4, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // after the barrier every thread must observe all 4 increments
+            counter.load(Ordering::SeqCst)
+        });
+        assert_eq!(results, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn single_thread_fast_path() {
+        let r = parallel_scope(1, |ctx| {
+            ctx.barrier(); // must not deadlock
+            ctx.threads
+        });
+        assert_eq!(r, vec![1]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared mutable output regions for multi-threaded partitioning.
+
+use core::cell::UnsafeCell;
+
+/// A fixed-size buffer that multiple worker threads write *disjoint* parts
+/// of concurrently (the paper's parallel shuffling: every thread owns a
+/// distinct slice of each partition's output region, computed from the
+/// interleaved prefix sums of the per-thread histograms).
+///
+/// Safe Rust cannot express "interleaved disjoint writes" through slice
+/// splitting, so workers obtain raw mutable views with
+/// [`SharedBuffer::view_mut`], whose contract they must uphold.
+pub struct SharedBuffer<T: Copy> {
+    data: UnsafeCell<Vec<T>>,
+}
+
+// SAFETY: concurrent access is governed by the view_mut contract.
+unsafe impl<T: Copy + Send> Send for SharedBuffer<T> {}
+unsafe impl<T: Copy + Send> Sync for SharedBuffer<T> {}
+
+impl<T: Copy + Default> SharedBuffer<T> {
+    /// A zero-initialized shared buffer of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        SharedBuffer {
+            data: UnsafeCell::new(vec![T::default(); len]),
+        }
+    }
+}
+
+impl<T: Copy> SharedBuffer<T> {
+    /// Wrap an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        SharedBuffer {
+            data: UnsafeCell::new(v),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        // SAFETY: reading the length field races with nothing (the Vec
+        // itself is never resized while shared).
+        unsafe { (*self.data.get()).len() }
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A mutable view of the whole buffer.
+    ///
+    /// # Safety
+    /// Callers must guarantee that between any two synchronization points
+    /// no element is written by more than one thread, and no element is
+    /// read by one thread while another writes it. The typical pattern is:
+    /// workers write disjoint index sets, then cross a barrier before
+    /// anyone reads.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn view_mut(&self) -> &mut [T] {
+        (*self.data.get()).as_mut_slice()
+    }
+
+    /// Recover the underlying vector once all workers are done.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data.into_inner()
+    }
+
+    /// A shared read-only view; callers must ensure no concurrent writers.
+    ///
+    /// # Safety
+    /// See [`SharedBuffer::view_mut`].
+    pub unsafe fn view(&self) -> &[T] {
+        (*self.data.get()).as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::parallel_scope;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let buf: SharedBuffer<u32> = SharedBuffer::zeroed(4 * 1000);
+        parallel_scope(4, |ctx| {
+            // SAFETY: each worker writes only indexes == its id mod 4.
+            let view = unsafe { buf.view_mut() };
+            let t = ctx.thread_id;
+            for i in (t..view.len()).step_by(4) {
+                view[i] = (i * 2) as u32;
+            }
+        });
+        let v = buf.into_vec();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i * 2) as u32));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let buf = SharedBuffer::from_vec(vec![1u64, 2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.into_vec(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Wall-clock measurement helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// A measured result.
+#[derive(Debug, Clone, Copy)]
+pub struct Timed<R> {
+    /// The value the measured closure returned.
+    pub value: R,
+    /// Elapsed wall time.
+    pub elapsed: Duration,
+}
+
+/// Time one invocation of `f`.
+pub fn time<R>(f: impl FnOnce() -> R) -> Timed<R> {
+    let start = Instant::now();
+    let value = f();
+    Timed {
+        value,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Run `f` `n ≥ 1` times and report the *fastest* run, the conventional
+/// way to suppress timer and scheduler noise in microbenchmarks.
+pub fn time_n<R>(n: usize, mut f: impl FnMut() -> R) -> Timed<R> {
+    assert!(n >= 1);
+    let mut best: Option<Timed<R>> = None;
+    for _ in 0..n {
+        let t = time(&mut f);
+        match &best {
+            Some(b) if b.elapsed <= t.elapsed => {}
+            _ => best = Some(t),
+        }
+    }
+    best.expect("n >= 1")
+}
+
+/// Throughput in million tuples per second, the unit of almost every figure
+/// in the paper ("billion tuples / second" axes are just this / 1000).
+pub fn throughput_mtps(tuples: usize, elapsed: Duration) -> f64 {
+    tuples as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_value_and_duration() {
+        let t = time(|| 21 * 2);
+        assert_eq!(t.value, 42);
+        assert!(t.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn time_n_keeps_fastest() {
+        let mut calls = 0;
+        let t = time_n(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert!(t.value >= 1 && t.value <= 5);
+    }
+
+    #[test]
+    fn throughput_units() {
+        let mtps = throughput_mtps(2_000_000, Duration::from_secs(1));
+        assert!((mtps - 2.0).abs() < 1e-9);
+        let mtps = throughput_mtps(1_000_000, Duration::from_millis(500));
+        assert!((mtps - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,301 @@
+//! Vectorized group-by aggregation (paper §5: "in group-by aggregation
+//! [hash tables] are used either to map tuples to unique group ids or to
+//! insert and update partial aggregates").
+//!
+//! [`GroupAggTable`] maintains per-group `COUNT(*)` and a 64-bit
+//! `SUM(value)` in an open-addressing table with linear probing. The
+//! vertical vectorized update path processes a different input tuple per
+//! lane; lanes that would read-modify-write the same bucket in one vector
+//! are *deferred* to the next iteration (the same first-occurrence rule the
+//! paper's unstable hash shuffling uses), so no increment is ever lost.
+
+use rsv_simd::{MaskLike, Simd};
+
+use crate::{bucket_count, MulHash, EMPTY_KEY};
+
+/// Maximum vector width any backend exposes (for stack lane buffers).
+const MAX_LANES: usize = 32;
+
+/// An aggregation hash table: per group key, `COUNT(*)` and `SUM(value)`.
+///
+/// Keys live in their own array; counts and 64-bit sums are stored as two
+/// parallel 32-bit arrays (`sum_lo`, `sum_hi`) so the vectorized path can
+/// do the 64-bit addition with 32-bit lanes and an explicit carry.
+#[derive(Debug, Clone)]
+pub struct GroupAggTable {
+    keys: Vec<u32>,
+    counts: Vec<u32>,
+    sum_lo: Vec<u32>,
+    sum_hi: Vec<u32>,
+    hash: MulHash,
+    groups: usize,
+}
+
+impl GroupAggTable {
+    /// A table for up to `capacity` distinct groups at `load_factor`
+    /// occupancy.
+    pub fn new(capacity: usize, load_factor: f64) -> Self {
+        let buckets = bucket_count(capacity, load_factor);
+        GroupAggTable {
+            keys: vec![EMPTY_KEY; buckets],
+            counts: vec![0; buckets],
+            sum_lo: vec![0; buckets],
+            sum_hi: vec![0; buckets],
+            hash: MulHash::nth(0),
+            groups: 0,
+        }
+    }
+
+    /// Number of distinct groups seen so far.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Update one tuple with scalar code.
+    pub fn update(&mut self, key: u32, value: u32) {
+        assert_ne!(
+            key, EMPTY_KEY,
+            "key {key:#x} is the reserved empty sentinel"
+        );
+        let t = self.keys.len();
+        let mut h = self.hash.bucket(key, t);
+        loop {
+            let k = self.keys[h];
+            if k == key {
+                break;
+            }
+            if k == EMPTY_KEY {
+                assert!(self.groups + 1 < t, "aggregation table is full");
+                self.keys[h] = key;
+                self.groups += 1;
+                break;
+            }
+            h += 1;
+            if h == t {
+                h = 0;
+            }
+        }
+        self.counts[h] += 1;
+        let (lo, carry) = self.sum_lo[h].overflowing_add(value);
+        self.sum_lo[h] = lo;
+        self.sum_hi[h] += u32::from(carry);
+    }
+
+    /// Aggregate whole columns with scalar code.
+    pub fn update_scalar(&mut self, keys: &[u32], values: &[u32]) {
+        assert_eq!(keys.len(), values.len(), "column length mismatch");
+        for (&k, &v) in keys.iter().zip(values) {
+            self.update(k, v);
+        }
+    }
+
+    /// Aggregate whole columns with the vertical vectorized kernel.
+    ///
+    /// Per iteration: hash a vector of keys, gather their buckets, insert
+    /// new groups (with the Algorithm 7 scatter/gather-back conflict
+    /// check), and read-modify-write count and sum for the lanes that are
+    /// the *first* occurrence of their bucket in this vector; all other
+    /// lanes retry next iteration.
+    pub fn update_vector<S: Simd>(&mut self, s: S, keys: &[u32], values: &[u32]) {
+        assert_eq!(keys.len(), values.len(), "column length mismatch");
+        s.vectorize(
+            #[inline(always)]
+            || self.update_vector_impl(s, keys, values),
+        );
+    }
+
+    fn update_vector_impl<S: Simd>(&mut self, s: S, keys: &[u32], values: &[u32]) {
+        let w = S::LANES;
+        let n = keys.len();
+        let t = self.keys.len();
+        debug_assert!(!keys.contains(&EMPTY_KEY), "empty-sentinel key in input");
+        let f = s.splat(self.hash.factor());
+        let tn = s.splat(t as u32);
+        let empty = s.splat(EMPTY_KEY);
+        let one = s.splat(1);
+        let lane_ids = s.iota();
+        let mut k = s.zero();
+        let mut v = s.zero();
+        let mut o = s.zero();
+        let mut m = S::M::all(); // lanes to refill
+        let mut i = 0usize;
+        while i + w <= n {
+            k = s.selective_load(k, m, &keys[i..]);
+            v = s.selective_load(v, m, &values[i..]);
+            i += m.count();
+            let mut h = s.add(s.mulhi(s.mullo(k, f), tn), o);
+            let over = s.cmpge(h, tn);
+            h = s.blend(over, s.sub(h, tn), h);
+            let tk = s.gather(&self.keys, h);
+            // Lanes whose bucket is empty try to claim it for a new group.
+            let empt = s.cmpeq(tk, empty);
+            if empt.any() {
+                s.scatter_masked(&mut self.keys, empt, h, lane_ids);
+                let back = s.gather_masked(lane_ids, empt, &self.keys, h);
+                let won = empt.and(s.cmpeq(back, lane_ids));
+                s.scatter_masked(&mut self.keys, won, h, k);
+                self.groups += won.count();
+                assert!(self.groups < t, "aggregation table is full");
+                // losers must retry (their o stays; bucket now occupied)
+            }
+            // Re-read bucket keys (claims may have just landed).
+            let tk = s.gather(&self.keys, h);
+            let found = s.cmpeq(tk, k);
+            // Defer all but the first lane touching each bucket: the
+            // read-modify-write below would otherwise lose increments.
+            let first = s.cmpeq(s.conflict(h), s.zero());
+            let upd = found.and(first);
+            if upd.any() {
+                let c = s.gather_masked(s.zero(), upd, &self.counts, h);
+                s.scatter_masked(&mut self.counts, upd, h, s.add(c, one));
+                let lo = s.gather_masked(s.zero(), upd, &self.sum_lo, h);
+                let new_lo = s.add(lo, v);
+                s.scatter_masked(&mut self.sum_lo, upd, h, new_lo);
+                let carry = s.cmplt(new_lo, lo); // wrapped => carry
+                let carry_upd = carry.and(upd);
+                if carry_upd.any() {
+                    let hi = s.gather_masked(s.zero(), carry_upd, &self.sum_hi, h);
+                    s.scatter_masked(&mut self.sum_hi, carry_upd, h, s.add(hi, one));
+                }
+            }
+            // Lanes that found a different, occupied key probe onward.
+            let miss = found.not().and(empt.not());
+            o = s.blend(miss, s.add(o, one), s.zero());
+            // Refill only the lanes that completed their update.
+            m = upd;
+        }
+        // Drain in-flight lanes and the tail with scalar code.
+        let mut ka = [0u32; MAX_LANES];
+        let mut va = [0u32; MAX_LANES];
+        s.store(k, &mut ka[..w]);
+        s.store(v, &mut va[..w]);
+        for lane in m.not().iter_set() {
+            self.update(ka[lane], va[lane]);
+        }
+        for idx in i..n {
+            self.update(keys[idx], values[idx]);
+        }
+    }
+
+    /// Iterate over `(group key, count, sum)` results.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .filter(|&(_h, &k)| k != EMPTY_KEY)
+            .map(|(h, &k)| {
+                (
+                    k,
+                    self.counts[h],
+                    u64::from(self.sum_lo[h]) | (u64::from(self.sum_hi[h]) << 32),
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsv_simd::Portable;
+    use std::collections::HashMap;
+
+    fn reference(keys: &[u32], values: &[u32]) -> HashMap<u32, (u32, u64)> {
+        let mut m: HashMap<u32, (u32, u64)> = HashMap::new();
+        for (&k, &v) in keys.iter().zip(values) {
+            let e = m.entry(k).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u64::from(v);
+        }
+        m
+    }
+
+    fn collect(t: &GroupAggTable) -> HashMap<u32, (u32, u64)> {
+        t.iter().map(|(k, c, s)| (k, (c, s))).collect()
+    }
+
+    #[test]
+    fn scalar_matches_reference() {
+        let mut rng = rsv_data::rng(71);
+        let keys: Vec<u32> = rsv_data::uniform_u32(5000, &mut rng)
+            .iter()
+            .map(|k| k % 97)
+            .collect();
+        let values = rsv_data::uniform_u32(5000, &mut rng);
+        let mut t = GroupAggTable::new(128, 0.5);
+        t.update_scalar(&keys, &values);
+        assert_eq!(collect(&t), reference(&keys, &values));
+        assert_eq!(t.groups(), 97);
+    }
+
+    #[test]
+    fn vector_matches_reference() {
+        let s = Portable::<16>::new();
+        let mut rng = rsv_data::rng(72);
+        for (n, domain) in [(5000usize, 97u32), (1000, 3), (64, 64), (10_000, 5000)] {
+            let keys: Vec<u32> = rsv_data::uniform_u32(n, &mut rng)
+                .iter()
+                .map(|k| k % domain)
+                .collect();
+            let values = rsv_data::uniform_u32(n, &mut rng);
+            let mut t = GroupAggTable::new(domain as usize, 0.5);
+            t.update_vector(s, &keys, &values);
+            assert_eq!(
+                collect(&t),
+                reference(&keys, &values),
+                "n={n} domain={domain}"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_sum_carries_into_high_word() {
+        let s = Portable::<16>::new();
+        // many large values into one group: sum exceeds 2^32
+        let keys = vec![42u32; 4096];
+        let values = vec![u32::MAX - 3; 4096];
+        let mut t = GroupAggTable::new(4, 0.5);
+        t.update_vector(s, &keys, &values);
+        let rows: Vec<_> = t.iter().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], (42, 4096, 4096u64 * u64::from(u32::MAX - 3)));
+    }
+
+    #[test]
+    fn incremental_updates_accumulate() {
+        let s = Portable::<8>::new();
+        let mut t = GroupAggTable::new(16, 0.5);
+        t.update_vector(s, &[1, 2, 1, 2, 1, 2, 1, 2], &[10, 1, 10, 1, 10, 1, 10, 1]);
+        t.update_scalar(&[1, 3], &[5, 7]);
+        let m = collect(&t);
+        assert_eq!(m[&1], (5, 45));
+        assert_eq!(m[&2], (4, 4));
+        assert_eq!(m[&3], (1, 7));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn accelerated_backends_match() {
+        let mut rng = rsv_data::rng(73);
+        let keys: Vec<u32> = rsv_data::uniform_u32(20_000, &mut rng)
+            .iter()
+            .map(|k| k % 1009)
+            .collect();
+        let values = rsv_data::uniform_u32(20_000, &mut rng);
+        let expected = reference(&keys, &values);
+        if let Some(s) = rsv_simd::Avx512::new() {
+            let mut t = GroupAggTable::new(1009, 0.5);
+            t.update_vector(s, &keys, &values);
+            assert_eq!(collect(&t), expected);
+        }
+        if let Some(s) = rsv_simd::Avx2::new() {
+            let mut t = GroupAggTable::new(1009, 0.5);
+            t.update_vector(s, &keys, &values);
+            assert_eq!(collect(&t), expected);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Horizontal (bucketized) hash-table vectorization — the prior state of
+//! the art the paper compares against (Ross \[30\]).
+//!
+//! Buckets hold `W` keys; probing compares **one** input key against a
+//! whole bucket with a single vector comparison. The paper's argument
+//! (§5): when the expected number of probed buckets per key is below `W`,
+//! horizontal vectorization wastes lanes and cannot use wider registers.
+
+use rsv_simd::{MaskLike, Simd};
+
+use crate::sink::JoinSink;
+use crate::{bucket_count, next_prime, CuckooBuildError, MulHash, EMPTY_KEY};
+
+/// Probing scheme for [`BucketizedTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketScheme {
+    /// Overflow to the next bucket (bucketized linear probing).
+    Linear,
+    /// Overflow by a key-dependent step (bucketized double hashing).
+    Double,
+}
+
+/// A hash table whose buckets hold `slots` keys in one contiguous vector,
+/// with the matching payloads alongside (split layout so one vector load
+/// covers a whole bucket's keys).
+#[derive(Debug, Clone)]
+pub struct BucketizedTable {
+    keys: Vec<u32>,
+    pays: Vec<u32>,
+    nbuckets: usize,
+    slots: usize,
+    h1: MulHash,
+    h2: MulHash,
+    scheme: BucketScheme,
+    len: usize,
+}
+
+impl BucketizedTable {
+    /// A table of `capacity` tuples at `load_factor` occupancy with
+    /// `slots` keys per bucket (use the probing backend's lane count).
+    pub fn new(capacity: usize, load_factor: f64, slots: usize, scheme: BucketScheme) -> Self {
+        assert!(
+            slots.is_power_of_two() && slots >= 2,
+            "slots must be a power of two >= 2"
+        );
+        let mut nbuckets = bucket_count(capacity, load_factor).div_ceil(slots).max(2);
+        if scheme == BucketScheme::Double {
+            nbuckets = next_prime(nbuckets);
+        }
+        BucketizedTable {
+            keys: vec![EMPTY_KEY; nbuckets * slots],
+            pays: vec![0; nbuckets * slots],
+            nbuckets,
+            slots,
+            h1: MulHash::nth(0),
+            h2: MulHash::nth(1),
+            scheme,
+            len: 0,
+        }
+    }
+
+    /// Keys per bucket.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.nbuckets
+    }
+
+    /// Number of inserted tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no tuples were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the key and payload arrays in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * 4 + self.pays.len() * 4
+    }
+
+    #[inline(always)]
+    fn next_bucket(&self, key: u32, h: usize) -> usize {
+        let step = match self.scheme {
+            BucketScheme::Linear => 1,
+            BucketScheme::Double => 1 + self.h2.bucket(key, self.nbuckets - 1),
+        };
+        let nh = h + step;
+        if nh >= self.nbuckets {
+            nh - self.nbuckets
+        } else {
+            nh
+        }
+    }
+
+    /// Insert one tuple into the first free slot along its bucket chain.
+    pub fn insert(&mut self, key: u32, pay: u32) {
+        assert_ne!(
+            key, EMPTY_KEY,
+            "key {key:#x} is the reserved empty sentinel"
+        );
+        assert!(self.len < self.keys.len(), "hash table is full");
+        let mut h = self.h1.bucket(key, self.nbuckets);
+        loop {
+            let base = h * self.slots;
+            for s in 0..self.slots {
+                if self.keys[base + s] == EMPTY_KEY {
+                    self.keys[base + s] = key;
+                    self.pays[base + s] = pay;
+                    self.len += 1;
+                    return;
+                }
+            }
+            h = self.next_bucket(key, h);
+        }
+    }
+
+    /// Build from columns.
+    pub fn build(&mut self, keys: &[u32], pays: &[u32]) {
+        assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        for (&k, &p) in keys.iter().zip(pays) {
+            self.insert(k, p);
+        }
+    }
+
+    /// Horizontally vectorized probe: for each probe key, one vector
+    /// comparison covers a whole bucket; overflow chains continue until a
+    /// bucket with an empty slot is seen.
+    ///
+    /// # Panics
+    /// If `S::LANES != self.slots()`.
+    pub fn probe_horizontal<S: Simd>(&self, s: S, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
+        assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        assert_eq!(
+            S::LANES,
+            self.slots,
+            "bucket width must equal the backend lane count"
+        );
+        s.vectorize(
+            #[inline(always)]
+            || self.probe_horizontal_impl(s, keys, pays, out),
+        );
+    }
+
+    #[inline(always)]
+    fn probe_horizontal_impl<S: Simd>(&self, s: S, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
+        let empty = s.splat(EMPTY_KEY);
+        for (&k, &p) in keys.iter().zip(pays) {
+            let kv = s.splat(k);
+            let mut h = self.h1.bucket(k, self.nbuckets);
+            loop {
+                let base = h * self.slots;
+                let bucket = s.load(&self.keys[base..]);
+                let hit = s.cmpeq(bucket, kv);
+                for lane in hit.iter_set() {
+                    out.push(k, self.pays[base + lane], p);
+                }
+                if s.cmpeq(bucket, empty).any() {
+                    break;
+                }
+                h = self.next_bucket(k, h);
+            }
+        }
+    }
+
+    /// Scalar probe over the same bucketized layout (for comparison).
+    pub fn probe_scalar(&self, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
+        assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        for (&k, &p) in keys.iter().zip(pays) {
+            let mut h = self.h1.bucket(k, self.nbuckets);
+            'chain: loop {
+                let base = h * self.slots;
+                for slot in 0..self.slots {
+                    let tk = self.keys[base + slot];
+                    if tk == EMPTY_KEY {
+                        break 'chain;
+                    }
+                    if tk == k {
+                        out.push(k, self.pays[base + slot], p);
+                    }
+                }
+                h = self.next_bucket(k, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsv_simd::Portable;
+    use std::collections::HashMap;
+
+    fn reference(bk: &[u32], bp: &[u32], pk: &[u32], pp: &[u32]) -> Vec<(u32, u32, u32)> {
+        let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (&k, &p) in bk.iter().zip(bp) {
+            map.entry(k).or_default().push(p);
+        }
+        let mut out = Vec::new();
+        for (&k, &p) in pk.iter().zip(pp) {
+            if let Some(v) = map.get(&k) {
+                for &b in v {
+                    out.push((k, b, p));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn sorted_rows(sink: &JoinSink) -> Vec<(u32, u32, u32)> {
+        let mut rows: Vec<_> = sink.iter().collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn horizontal_matches_reference_linear_and_double() {
+        let s = Portable::<16>::new();
+        let mut rng = rsv_data::rng(41);
+        let bk = rsv_data::unique_u32(500, &mut rng);
+        let bp: Vec<u32> = (0..500).collect();
+        let pk: Vec<u32> = (0..3000)
+            .map(|i| bk[(i * 11) % 500] ^ ((i % 7 == 6) as u32))
+            .collect();
+        let pp: Vec<u32> = (0..3000).collect();
+        let expected = reference(&bk, &bp, &pk, &pp);
+
+        for scheme in [BucketScheme::Linear, BucketScheme::Double] {
+            let mut t = BucketizedTable::new(bk.len(), 0.5, 16, scheme);
+            t.build(&bk, &bp);
+            assert_eq!(t.len(), bk.len());
+
+            let mut sink = JoinSink::with_capacity(0);
+            t.probe_horizontal(s, &pk, &pp, &mut sink);
+            assert_eq!(sorted_rows(&sink), expected, "{scheme:?}");
+
+            let mut sink = JoinSink::with_capacity(0);
+            t.probe_scalar(&pk, &pp, &mut sink);
+            assert_eq!(sorted_rows(&sink), expected, "{scheme:?} scalar");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_within_and_across_buckets() {
+        let s = Portable::<8>::new();
+        // 20 copies of each of 3 keys: chains must overflow buckets of 8
+        let bk: Vec<u32> = (0..60).map(|i| [7u32, 13, 29][i % 3]).collect();
+        let bp: Vec<u32> = (0..60).collect();
+        let pk = vec![7u32, 13, 29, 99];
+        let pp = vec![0u32, 1, 2, 3];
+        let mut t = BucketizedTable::new(bk.len(), 0.5, 8, BucketScheme::Linear);
+        t.build(&bk, &bp);
+        let mut sink = JoinSink::with_capacity(0);
+        t.probe_horizontal(s, &pk, &pp, &mut sink);
+        assert_eq!(sink.len(), 60);
+        assert_eq!(sorted_rows(&sink), reference(&bk, &bp, &pk, &pp));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn probe_with_wrong_width_panics() {
+        let t = BucketizedTable::new(10, 0.5, 16, BucketScheme::Linear);
+        let s = Portable::<8>::new();
+        let mut sink = JoinSink::with_capacity(0);
+        t.probe_horizontal(s, &[1], &[2], &mut sink);
+    }
+}
+
+/// A bucketized **cuckoo** table (Ross \[30\]): two hash functions, each
+/// key stored in one of two candidate buckets of `slots` keys; horizontal
+/// probing compares the probe key against both buckets with two vector
+/// comparisons — the exact prior-art design Figure 7 benchmarks.
+#[derive(Debug, Clone)]
+pub struct BucketizedCuckoo {
+    keys: Vec<u32>,
+    pays: Vec<u32>,
+    nbuckets: usize,
+    slots: usize,
+    h1: MulHash,
+    h2: MulHash,
+    len: usize,
+    max_kicks: usize,
+}
+
+impl BucketizedCuckoo {
+    /// A table of `capacity` tuples at `load_factor` occupancy with
+    /// `slots` keys per bucket. Bucketized cuckoo supports much higher
+    /// load factors than 1-slot cuckoo; 0.8 is safe for `slots >= 4`.
+    pub fn new(capacity: usize, load_factor: f64, slots: usize) -> Self {
+        assert!(slots.is_power_of_two() && slots >= 2, "slots must be a power of two >= 2");
+        let nbuckets = crate::bucket_count(capacity, load_factor).div_ceil(slots).max(2);
+        BucketizedCuckoo {
+            keys: vec![EMPTY_KEY; nbuckets * slots],
+            pays: vec![0; nbuckets * slots],
+            nbuckets,
+            slots,
+            h1: MulHash::nth(0),
+            h2: MulHash::nth(1),
+            len: 0,
+            max_kicks: 64 + 4 * capacity.max(2).ilog2() as usize,
+        }
+    }
+
+    /// Number of inserted tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no tuples were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the key and payload arrays in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * 8
+    }
+
+    fn try_place(&mut self, bucket: usize, key: u32, pay: u32) -> bool {
+        let base = bucket * self.slots;
+        for s in 0..self.slots {
+            if self.keys[base + s] == EMPTY_KEY {
+                self.keys[base + s] = key;
+                self.pays[base + s] = pay;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert one tuple, kicking occupants between their candidate
+    /// buckets when both are full.
+    pub fn try_insert(&mut self, key: u32, pay: u32) -> Result<(), CuckooBuildError> {
+        assert_ne!(key, EMPTY_KEY, "key {key:#x} is the reserved empty sentinel");
+        assert!(self.len < self.keys.len(), "hash table is full");
+        let mut k = key;
+        let mut p = pay;
+        let mut bucket = self.h1.bucket(k, self.nbuckets);
+        for kick in 0..self.max_kicks {
+            if self.try_place(bucket, k, p) {
+                self.len += 1;
+                return Ok(());
+            }
+            let alt = {
+                let b1 = self.h1.bucket(k, self.nbuckets);
+                if bucket == b1 { self.h2.bucket(k, self.nbuckets) } else { b1 }
+            };
+            if self.try_place(alt, k, p) {
+                self.len += 1;
+                return Ok(());
+            }
+            // displace a pseudo-random victim from the alternate bucket
+            let slot = kick % self.slots;
+            let base = alt * self.slots;
+            core::mem::swap(&mut k, &mut self.keys[base + slot]);
+            core::mem::swap(&mut p, &mut self.pays[base + slot]);
+            let vb1 = self.h1.bucket(k, self.nbuckets);
+            bucket = if alt == vb1 { self.h2.bucket(k, self.nbuckets) } else { vb1 };
+        }
+        Err(CuckooBuildError { key: k, payload: p })
+    }
+
+    /// Build from columns; keys must be unique.
+    pub fn build(&mut self, keys: &[u32], pays: &[u32]) -> Result<(), CuckooBuildError> {
+        assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        for (&k, &p) in keys.iter().zip(pays) {
+            self.try_insert(k, p)?;
+        }
+        Ok(())
+    }
+
+    /// Horizontal probe: broadcast the key, compare against both candidate
+    /// buckets (at most two vector comparisons per probe key).
+    ///
+    /// # Panics
+    /// If `S::LANES != slots`.
+    pub fn probe_horizontal<S: Simd>(&self, s: S, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
+        assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        assert_eq!(S::LANES, self.slots, "bucket width must equal the backend lane count");
+        s.vectorize(
+            #[inline(always)]
+            || {
+                for (&k, &p) in keys.iter().zip(pays) {
+                    let kv = s.splat(k);
+                    let b1 = self.h1.bucket(k, self.nbuckets) * self.slots;
+                    let hit = s.cmpeq(s.load(&self.keys[b1..]), kv);
+                    if let Some(lane) = hit.first_set() {
+                        out.push(k, self.pays[b1 + lane], p);
+                        continue;
+                    }
+                    let b2 = self.h2.bucket(k, self.nbuckets) * self.slots;
+                    let hit = s.cmpeq(s.load(&self.keys[b2..]), kv);
+                    if let Some(lane) = hit.first_set() {
+                        out.push(k, self.pays[b2 + lane], p);
+                    }
+                }
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod cuckoo_bucket_tests {
+    use super::*;
+    use rsv_simd::Portable;
+
+    #[test]
+    fn bucketized_cuckoo_build_and_probe() {
+        let s = Portable::<16>::new();
+        let mut rng = rsv_data::rng(47);
+        let bk = rsv_data::unique_u32(4000, &mut rng);
+        let bp: Vec<u32> = (0..4000).collect();
+        let mut t = BucketizedCuckoo::new(bk.len(), 0.8, 16);
+        t.build(&bk, &bp).expect("bucketized cuckoo holds 80% load");
+        assert_eq!(t.len(), bk.len());
+
+        let pk: Vec<u32> = (0..10_000)
+            .map(|i| if i % 5 == 4 { bk[i % 4000] ^ 3 } else { bk[(i * 7) % 4000] })
+            .collect();
+        let pp: Vec<u32> = (0..10_000).collect();
+        let mut sink = JoinSink::with_capacity(0);
+        t.probe_horizontal(s, &pk, &pp, &mut sink);
+
+        let map: std::collections::HashMap<u32, u32> =
+            bk.iter().copied().zip(bp.iter().copied()).collect();
+        let expected = pk.iter().filter(|k| map.contains_key(k)).count();
+        assert_eq!(sink.len(), expected);
+        for (k, b, _p) in sink.iter() {
+            assert_eq!(map[&k], b);
+        }
+    }
+
+    #[test]
+    fn wrong_lane_count_panics() {
+        let t = BucketizedCuckoo::new(16, 0.5, 16);
+        let s = Portable::<8>::new();
+        let mut sink = JoinSink::with_capacity(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.probe_horizontal(s, &[1], &[1], &mut sink)
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! The *min-partition* hash join (paper §9): partition the inner relation
+//! into `T` parts (one per thread) so each thread builds a private table —
+//! no atomics anywhere — and probing picks **both** a table and a bucket
+//! per key, which keeps the whole join fully vectorizable.
+
+use std::time::Instant;
+
+use rsv_data::Relation;
+use rsv_exec::{chunk_ranges, parallel_scope, SharedBuffer};
+use rsv_hashtab::{
+    lp_build_scalar_raw, lp_build_vertical_raw, lp_probe_one_raw, JoinSink, MulHash, EMPTY_KEY,
+    EMPTY_PAIR,
+};
+use rsv_partition::parallel::partition_pass_parallel;
+use rsv_partition::{HashFn, PartitionFn};
+use rsv_simd::{MaskLike, Simd};
+
+use crate::{JoinResult, JoinTimings};
+
+/// Maximum vector width any backend exposes (for stack lane buffers).
+const MAX_LANES: usize = 32;
+
+/// Execute the min-partition join with `threads` threads (and as many
+/// inner partitions).
+pub fn join_min_partition<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    threads: usize,
+) -> JoinResult {
+    assert!(threads >= 1);
+    let parts = threads;
+    let part_fn = HashFn::with_factor(parts, MulHash::nth(2).factor());
+    let table_hash = MulHash::nth(0);
+
+    // Phase 1: partition the inner relation by thread.
+    let t0 = Instant::now();
+    let mut part_k = vec![0u32; inner.len()];
+    let mut part_p = vec![0u32; inner.len()];
+    let pass = partition_pass_parallel(
+        s,
+        vectorized,
+        part_fn,
+        &inner.keys,
+        &inner.payloads,
+        &mut part_k,
+        &mut part_p,
+        threads,
+    );
+    let partition = t0.elapsed();
+
+    // Phase 2: every thread builds its private sub-table; the sub-tables
+    // share one allocation so probes can gather across all of them.
+    let t0 = Instant::now();
+    let max_part = pass.hist.iter().copied().max().unwrap_or(0) as usize;
+    let tsize = (max_part * 2 + 1).next_multiple_of(2).max(2);
+    let table = SharedBuffer::from_vec(vec![EMPTY_PAIR; parts * tsize]);
+    parallel_scope(threads, |ctx| {
+        let t = ctx.thread_id;
+        let start = pass.partition_starts[t] as usize;
+        let end = start + pass.hist[t] as usize;
+        // SAFETY: each thread touches only its own sub-table slice.
+        let view = unsafe { table.view_mut() };
+        let sub = &mut view[t * tsize..(t + 1) * tsize];
+        if vectorized {
+            lp_build_vertical_raw(s, sub, table_hash, &part_k[start..end], &part_p[start..end]);
+        } else {
+            lp_build_scalar_raw(sub, table_hash, &part_k[start..end], &part_p[start..end]);
+        }
+    });
+    let build = t0.elapsed();
+
+    // Phase 3: probe across the T sub-tables.
+    // SAFETY: the build threads were joined; the table is read-only now.
+    let pairs: &[u64] = unsafe { table.view() };
+    let t0 = Instant::now();
+    let ranges = chunk_ranges(outer.len(), threads, S::LANES);
+    let sinks = parallel_scope(threads, |ctx| {
+        let r = ranges[ctx.thread_id].clone();
+        let mut sink = JoinSink::with_capacity(r.len());
+        if vectorized {
+            probe_vertical_multi(
+                s,
+                pairs,
+                tsize,
+                part_fn,
+                table_hash,
+                &outer.keys[r.clone()],
+                &outer.payloads[r],
+                &mut sink,
+            );
+        } else {
+            for i in r {
+                let k = outer.keys[i];
+                let p = part_fn.partition(k);
+                lp_probe_one_raw(
+                    &pairs[p * tsize..(p + 1) * tsize],
+                    table_hash,
+                    k,
+                    outer.payloads[i],
+                    0,
+                    &mut sink,
+                );
+            }
+        }
+        sink
+    });
+    let probe = t0.elapsed();
+
+    JoinResult {
+        sinks,
+        timings: JoinTimings {
+            partition,
+            build,
+            probe,
+        },
+    }
+}
+
+/// Vertically vectorized probe across `parts` concatenated sub-tables of
+/// `tsize` buckets each: per lane, the partition function picks the table
+/// and multiplicative hashing picks the bucket (the paper's "probe across
+/// the T hash tables" modification of Algorithm 5).
+#[allow(clippy::too_many_arguments)]
+fn probe_vertical_multi<S: Simd>(
+    s: S,
+    pairs: &[u64],
+    tsize: usize,
+    part_fn: HashFn,
+    table_hash: MulHash,
+    keys: &[u32],
+    pays: &[u32],
+    out: &mut JoinSink,
+) {
+    s.vectorize(
+        #[inline(always)]
+        || {
+            let w = S::LANES;
+            let n = keys.len();
+            let f = s.splat(table_hash.factor());
+            let tn = s.splat(tsize as u32);
+            let empty = s.splat(EMPTY_KEY);
+            let one = s.splat(1);
+            let mut k = s.zero();
+            let mut v = s.zero();
+            let mut o = s.zero();
+            let mut m = S::M::all();
+            let mut i = 0usize;
+            while i + w <= n {
+                k = s.selective_load(k, m, &keys[i..]);
+                v = s.selective_load(v, m, &pays[i..]);
+                i += m.count();
+                let part = part_fn.partition_vector(s, k);
+                let mut local = s.add(s.mulhi(s.mullo(k, f), tn), o);
+                let over = s.cmpge(local, tn);
+                local = s.blend(over, s.sub(local, tn), local);
+                let h = s.add(s.mullo(part, tn), local);
+                let (tk, tv) = s.gather_pairs(pairs, h);
+                m = s.cmpeq(tk, empty);
+                let hit = m.andnot(s.cmpeq(tk, k));
+                if hit.any() {
+                    let (ok, oi, oo) = out.spare(w);
+                    s.selective_store(ok, hit, k);
+                    s.selective_store(oi, hit, tv);
+                    let c = s.selective_store(oo, hit, v);
+                    out.advance(c);
+                }
+                o = s.blend(m, s.zero(), s.add(o, one));
+            }
+            let mut ka = [0u32; MAX_LANES];
+            let mut va = [0u32; MAX_LANES];
+            let mut oa = [0u32; MAX_LANES];
+            s.store(k, &mut ka[..w]);
+            s.store(v, &mut va[..w]);
+            s.store(o, &mut oa[..w]);
+            for lane in m.not().iter_set() {
+                let p = part_fn.partition(ka[lane]);
+                lp_probe_one_raw(
+                    &pairs[p * tsize..(p + 1) * tsize],
+                    table_hash,
+                    ka[lane],
+                    va[lane],
+                    oa[lane] as usize,
+                    out,
+                );
+            }
+            for idx in i..n {
+                let p = part_fn.partition(keys[idx]);
+                lp_probe_one_raw(
+                    &pairs[p * tsize..(p + 1) * tsize],
+                    table_hash,
+                    keys[idx],
+                    pays[idx],
+                    0,
+                    out,
+                );
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{reference_fingerprint, workload};
+    use rsv_simd::Portable;
+
+    #[test]
+    fn matches_reference() {
+        let s = Portable::<16>::new();
+        let (inner, outer) = workload(3_000, 12_000, 211);
+        let (expected, n) = reference_fingerprint(&inner, &outer);
+        for threads in [1usize, 2, 4] {
+            for vectorized in [false, true] {
+                let r = join_min_partition(s, vectorized, &inner, &outer, threads);
+                assert_eq!(r.matches(), n, "threads={threads} vec={vectorized}");
+                assert_eq!(r.fingerprint(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_inner_keys() {
+        let s = Portable::<16>::new();
+        let w = rsv_data::join_workload(1_000, 5_000, 2.5, 0.4, &mut rsv_data::rng(212));
+        let (expected, n) = reference_fingerprint(&w.inner, &w.outer);
+        let r = join_min_partition(s, true, &w.inner, &w.outer, 3);
+        assert_eq!(r.matches(), n);
+        assert_eq!(r.fingerprint(), expected);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let s = Portable::<16>::new();
+        let (inner, outer) = workload(1_000, 2_000, 213);
+        let r = join_min_partition(s, true, &inner, &outer, 2);
+        assert!(r.timings.total() >= r.timings.probe);
+    }
+}

@@ -1,0 +1,155 @@
+//! The *no-partition* hash join (paper §9): one shared linear-probing
+//! table built concurrently with atomic compare-and-swap inserts, then
+//! probed read-only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rsv_data::Relation;
+use rsv_exec::{chunk_ranges, parallel_scope};
+use rsv_hashtab::{
+    lp_probe_scalar_raw, lp_probe_vertical_raw, JoinSink, MulHash, EMPTY_KEY, EMPTY_PAIR,
+};
+use rsv_simd::Simd;
+
+use crate::{JoinResult, JoinTimings};
+
+/// Insert one tuple into the shared table with a CAS loop over the linear
+/// probe chain.
+#[inline]
+fn atomic_insert(table: &[AtomicU64], hash: MulHash, key: u32, pay: u32) {
+    assert_ne!(
+        key, EMPTY_KEY,
+        "key {key:#x} is the reserved empty sentinel"
+    );
+    let t = table.len();
+    let pair = u64::from(key) | (u64::from(pay) << 32);
+    let mut h = hash.bucket(key, t);
+    loop {
+        let cur = table[h].load(Ordering::Relaxed);
+        if cur as u32 == EMPTY_KEY
+            && table[h]
+                .compare_exchange(cur, pair, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            return;
+        }
+        h += 1;
+        if h == t {
+            h = 0;
+        }
+    }
+}
+
+/// Execute the no-partition join. `vectorized` selects the probe kernel;
+/// the build is scalar either way (paper: "building the hash table cannot
+/// be fully vectorized because atomic operations are not supported in
+/// SIMD").
+pub fn join_no_partition<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    threads: usize,
+) -> JoinResult {
+    assert!(threads >= 1);
+    let hash = MulHash::nth(0);
+    let buckets = (inner.len() * 2).max(inner.len() + 1).max(2);
+    let table: Vec<AtomicU64> = (0..buckets).map(|_| AtomicU64::new(EMPTY_PAIR)).collect();
+
+    // Build: threads split the inner relation and insert with CAS.
+    let t0 = Instant::now();
+    let build_ranges = chunk_ranges(inner.len(), threads, 1);
+    parallel_scope(threads, |ctx| {
+        let r = build_ranges[ctx.thread_id].clone();
+        for i in r {
+            atomic_insert(&table, hash, inner.keys[i], inner.payloads[i]);
+        }
+    });
+    let build = t0.elapsed();
+
+    // The build threads were joined: the table is now plain read-only data.
+    // SAFETY: AtomicU64 has the same in-memory representation as u64 and
+    // no thread writes the table anymore.
+    let pairs: &[u64] =
+        unsafe { core::slice::from_raw_parts(table.as_ptr() as *const u64, table.len()) };
+
+    // Probe: threads split the outer relation; no synchronization needed.
+    let t0 = Instant::now();
+    let probe_ranges = chunk_ranges(outer.len(), threads, S::LANES);
+    let sinks = parallel_scope(threads, |ctx| {
+        let r = probe_ranges[ctx.thread_id].clone();
+        let mut sink = JoinSink::with_capacity(r.len());
+        if vectorized {
+            lp_probe_vertical_raw(
+                s,
+                pairs,
+                hash,
+                &outer.keys[r.clone()],
+                &outer.payloads[r],
+                &mut sink,
+            );
+        } else {
+            lp_probe_scalar_raw(
+                pairs,
+                hash,
+                &outer.keys[r.clone()],
+                &outer.payloads[r],
+                &mut sink,
+            );
+        }
+        sink
+    });
+    let probe = t0.elapsed();
+
+    JoinResult {
+        sinks,
+        timings: JoinTimings {
+            partition: Default::default(),
+            build,
+            probe,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{reference_fingerprint, workload};
+    use rsv_simd::Portable;
+
+    #[test]
+    fn matches_reference_scalar_and_vector() {
+        let s = Portable::<16>::new();
+        let (inner, outer) = workload(2_000, 10_000, 201);
+        let (expected, n) = reference_fingerprint(&inner, &outer);
+        for threads in [1usize, 4] {
+            for vectorized in [false, true] {
+                let r = join_no_partition(s, vectorized, &inner, &outer, threads);
+                assert_eq!(r.matches(), n, "threads={threads} vec={vectorized}");
+                assert_eq!(r.fingerprint(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_inner_keys() {
+        let s = Portable::<16>::new();
+        let w = rsv_data::join_workload(900, 3_000, 3.0, 0.5, &mut rsv_data::rng(202));
+        let (expected, n) = reference_fingerprint(&w.inner, &w.outer);
+        let r = join_no_partition(s, true, &w.inner, &w.outer, 2);
+        assert_eq!(r.matches(), n);
+        assert_eq!(r.fingerprint(), expected);
+    }
+
+    #[test]
+    fn empty_relations() {
+        let s = Portable::<16>::new();
+        let empty = Relation::default();
+        let (inner, _) = workload(10, 10, 203);
+        let r = join_no_partition(s, true, &inner, &empty, 2);
+        assert_eq!(r.matches(), 0);
+        let r = join_no_partition(s, true, &empty, &inner, 2);
+        assert_eq!(r.matches(), 0);
+    }
+}

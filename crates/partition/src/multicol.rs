@@ -1,0 +1,176 @@
+//! Multi-column partitioning via destination replay (paper §7.4).
+//!
+//! To partition a table with several payload columns (possibly of
+//! different widths), the paper shuffles *one column at a time*: during
+//! the pass over the key column it stores each tuple's partition
+//! destination in a temporary array, so subsequent columns replay the
+//! permutation without recomputing the partition function or redoing
+//! conflict serialization.
+
+use rsv_simd::Simd;
+
+use crate::conflict::serialize_conflicts_native;
+use crate::histogram::prefix_sum;
+use crate::PartitionFn;
+
+/// Compute each tuple's output position (and shuffle the key column).
+///
+/// Returns the partition start offsets; `dest[i]` receives the output
+/// index of tuple `i`, and `out_keys` the shuffled key column.
+pub fn compute_destinations<S: Simd, F: PartitionFn>(
+    s: S,
+    f: F,
+    keys: &[u32],
+    hist: &[u32],
+    dest: &mut [u32],
+    out_keys: &mut [u32],
+) -> Vec<u32> {
+    assert_eq!(hist.len(), f.fanout(), "histogram fanout mismatch");
+    assert!(dest.len() >= keys.len() && out_keys.len() >= keys.len());
+    let (base, total) = prefix_sum(hist, 0);
+    assert_eq!(total, keys.len(), "histogram does not count the input");
+    let mut off = base.clone();
+    s.vectorize(
+        #[inline(always)]
+        || {
+            let w = S::LANES;
+            let one = s.splat(1);
+            let mut i = 0usize;
+            while i + w <= keys.len() {
+                let k = s.load(&keys[i..]);
+                let h = f.partition_vector(s, k);
+                let o = s.gather(&off, h);
+                let c = serialize_conflicts_native(s, h);
+                let pos = s.add(o, c);
+                s.scatter(&mut off, h, s.add(pos, one));
+                s.store(pos, &mut dest[i..]);
+                s.scatter(out_keys, pos, k);
+                i += w;
+            }
+            for idx in i..keys.len() {
+                let p = f.partition(keys[idx]);
+                let o = off[p];
+                dest[idx] = o;
+                out_keys[o as usize] = keys[idx];
+                off[p] = o + 1;
+            }
+        },
+    );
+    base
+}
+
+/// Replay destinations over a 32-bit column with vector scatters.
+pub fn apply_destinations_u32<S: Simd>(s: S, dest: &[u32], col: &[u32], out: &mut [u32]) {
+    assert!(dest.len() >= col.len() && out.len() >= col.len());
+    s.vectorize(
+        #[inline(always)]
+        || {
+            let w = S::LANES;
+            let mut i = 0usize;
+            while i + w <= col.len() {
+                let v = s.load(&col[i..]);
+                let d = s.load(&dest[i..]);
+                s.scatter(out, d, v);
+                i += w;
+            }
+            for idx in i..col.len() {
+                out[dest[idx] as usize] = col[idx];
+            }
+        },
+    );
+}
+
+/// Replay destinations over a 64-bit column (two 32-bit scatters through
+/// the pair layout).
+pub fn apply_destinations_u64<S: Simd>(s: S, dest: &[u32], col: &[u64], out: &mut [u64]) {
+    assert!(dest.len() >= col.len() && out.len() >= col.len());
+    for (i, &v) in col.iter().enumerate() {
+        out[dest[i] as usize] = v;
+    }
+    let _ = s;
+}
+
+/// Replay destinations over an 8-bit column.
+pub fn apply_destinations_u8(dest: &[u32], col: &[u8], out: &mut [u8]) {
+    assert!(dest.len() >= col.len() && out.len() >= col.len());
+    for (i, &v) in col.iter().enumerate() {
+        out[dest[i] as usize] = v;
+    }
+}
+
+/// Replay destinations over a 16-bit column.
+pub fn apply_destinations_u16(dest: &[u32], col: &[u16], out: &mut [u16]) {
+    assert!(dest.len() >= col.len() && out.len() >= col.len());
+    for (i, &v) in col.iter().enumerate() {
+        out[dest[i] as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::histogram_scalar;
+    use crate::shuffle::shuffle_scalar_unbuffered;
+    use crate::RadixFn;
+    use rsv_simd::Portable;
+
+    #[test]
+    fn destinations_replay_matches_direct_shuffle() {
+        let s = Portable::<16>::new();
+        let mut rng = rsv_data::rng(101);
+        let keys = rsv_data::uniform_u32(5000, &mut rng);
+        let pays: Vec<u32> = (0..5000).collect();
+        let f = RadixFn::new(2, 6);
+        let hist = histogram_scalar(f, &keys);
+
+        // reference: direct stable shuffle
+        let mut rk = vec![0u32; keys.len()];
+        let mut rp = vec![0u32; keys.len()];
+        shuffle_scalar_unbuffered(f, &keys, &pays, &hist, &mut rk, &mut rp);
+
+        // destination replay
+        let mut dest = vec![0u32; keys.len()];
+        let mut ok = vec![0u32; keys.len()];
+        compute_destinations(s, f, &keys, &hist, &mut dest, &mut ok);
+        assert_eq!(ok, rk, "key column must match the direct shuffle");
+
+        let mut op = vec![0u32; keys.len()];
+        apply_destinations_u32(s, &dest, &pays, &mut op);
+        assert_eq!(op, rp, "replayed payloads must match the direct shuffle");
+    }
+
+    #[test]
+    fn replay_works_for_all_widths() {
+        let s = Portable::<8>::new();
+        let mut rng = rsv_data::rng(102);
+        let keys = rsv_data::uniform_u32(777, &mut rng);
+        let f = RadixFn::new(0, 4);
+        let hist = histogram_scalar(f, &keys);
+        let mut dest = vec![0u32; keys.len()];
+        let mut ok = vec![0u32; keys.len()];
+        compute_destinations(s, f, &keys, &hist, &mut dest, &mut ok);
+
+        let c8: Vec<u8> = (0..keys.len()).map(|i| i as u8).collect();
+        let c16: Vec<u16> = (0..keys.len()).map(|i| i as u16).collect();
+        let c64: Vec<u64> = (0..keys.len()).map(|i| i as u64 * 7).collect();
+        let mut o8 = vec![0u8; keys.len()];
+        let mut o16 = vec![0u16; keys.len()];
+        let mut o64 = vec![0u64; keys.len()];
+        apply_destinations_u8(&dest, &c8, &mut o8);
+        apply_destinations_u16(&dest, &c16, &mut o16);
+        apply_destinations_u64(s, &dest, &c64, &mut o64);
+
+        for i in 0..keys.len() {
+            let d = dest[i] as usize;
+            assert_eq!(o8[d], c8[i]);
+            assert_eq!(o16[d], c16[i]);
+            assert_eq!(o64[d], c64[i]);
+        }
+        // destinations are a permutation
+        let mut seen = vec![false; keys.len()];
+        for &d in &dest {
+            assert!(!seen[d as usize]);
+            seen[d as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Range partition functions (paper §7.2): scalar binary search (branching
+//! and branchless), vectorized binary search (Algorithm 12, via
+//! [`crate::RangeFn`]), and the horizontal SIMD tree index of \[26\].
+
+use rsv_simd::{MaskLike, Simd};
+
+use crate::RangeFn;
+
+/// Owns the padded splitter array backing [`RangeFn`].
+///
+/// Splitters must be sorted ascending; partition `p` receives keys `k`
+/// with `splitters[p-1] < k` and `k ≤ splitters[p]`, i.e.
+/// `p = |{i : splitters[i] < k}|`.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    padded: Vec<u32>,
+    fanout: usize,
+}
+
+impl RangePartitioner {
+    /// Build from `fanout - 1` sorted splitters; the array is padded with
+    /// `u32::MAX` so the (vectorized) binary search runs a fixed
+    /// `log2(fanout)` levels (the paper: "we can always patch the splitter
+    /// array with maximum values").
+    pub fn new(splitters: &[u32]) -> Self {
+        assert!(
+            splitters.windows(2).all(|w| w[0] <= w[1]),
+            "splitters must be sorted"
+        );
+        let fanout = splitters.len() + 1;
+        let padded_fanout = fanout.next_power_of_two().max(2);
+        let mut padded = splitters.to_vec();
+        padded.resize(padded_fanout - 1, u32::MAX);
+        RangePartitioner { padded, fanout }
+    }
+
+    /// The partition function (vector form runs Algorithm 12).
+    pub fn range_fn(&self) -> RangeFn<'_> {
+        RangeFn::from_padded(&self.padded, self.fanout)
+    }
+
+    /// Number of partitions.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Scalar *branching* binary search (the conventional baseline).
+    pub fn partition_branching(&self, key: u32) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.padded.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if key > self.padded[mid] {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Scalar *branchless* binary search: the comparison result feeds the
+    /// cursor arithmetic directly (paper: "branch elimination only
+    /// marginally improves performance" — the data dependence remains).
+    pub fn partition_branchless(&self, key: u32) -> usize {
+        let mut lo = 0usize;
+        let mut half = self.padded.len().div_ceil(2);
+        while half > 0 {
+            let mid = lo + half - 1;
+            lo += usize::from(key > self.padded[mid]) * half;
+            half /= 2;
+        }
+        lo
+    }
+}
+
+/// The horizontal SIMD range index of \[26\] (paper Figure 12 "tree
+/// index"): a `(W+1)`-ary tree whose nodes hold `W` splitters each, probed
+/// with one vector comparison per level — one *input key* at a time
+/// (horizontal vectorization), with scalar index arithmetic between levels.
+#[derive(Debug, Clone)]
+pub struct RangeIndex {
+    /// `levels[l]` holds the splitters of all `(W+1)^l` nodes at level `l`,
+    /// `W` per node.
+    levels: Vec<Vec<u32>>,
+    lanes: usize,
+    fanout: usize,
+}
+
+impl RangeIndex {
+    /// Build a tree over `fanout - 1` sorted splitters for a probing
+    /// backend with `lanes` lanes. The tree depth is the smallest `L` with
+    /// `(lanes+1)^L >= fanout`.
+    pub fn new(splitters: &[u32], lanes: usize) -> Self {
+        assert!(lanes.is_power_of_two() && lanes >= 2);
+        assert!(
+            splitters.windows(2).all(|w| w[0] <= w[1]),
+            "splitters must be sorted"
+        );
+        let fanout = splitters.len() + 1;
+        let node_fanout = lanes + 1;
+        let mut depth = 1usize;
+        let mut reach = node_fanout;
+        while reach < fanout {
+            reach *= node_fanout;
+            depth += 1;
+        }
+        // padded splitter array over `reach` partitions
+        let mut padded = splitters.to_vec();
+        padded.resize(reach - 1, u32::MAX);
+
+        let mut levels = Vec::with_capacity(depth);
+        for l in 0..depth {
+            let nodes = node_fanout.pow(l as u32);
+            let step = node_fanout.pow((depth - l - 1) as u32);
+            let mut level = vec![u32::MAX; nodes * lanes];
+            for node in 0..nodes {
+                for slot in 0..lanes {
+                    // the boundary after child `slot` of this node
+                    let pos = (node * node_fanout + slot + 1) * step - 1;
+                    if pos < padded.len() {
+                        level[node * lanes + slot] = padded[pos];
+                    }
+                }
+            }
+            levels.push(level);
+        }
+        RangeIndex {
+            levels,
+            lanes,
+            fanout,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Tree depth (levels probed per key).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Bytes of splitter storage across all levels.
+    pub fn size_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.len() * 4).sum()
+    }
+
+    /// Partition one key: one vector comparison per level.
+    ///
+    /// # Panics
+    /// If `S::LANES != lanes` used at construction.
+    #[inline]
+    pub fn partition_one<S: Simd>(&self, s: S, key: u32) -> usize {
+        assert_eq!(
+            S::LANES,
+            self.lanes,
+            "index built for a different lane count"
+        );
+        let kv = s.splat(key);
+        let mut node = 0usize;
+        for level in &self.levels {
+            let keys = s.load(&level[node * self.lanes..]);
+            let child = s.cmpgt(kv, keys).count();
+            node = node * (self.lanes + 1) + child;
+        }
+        node.min(self.fanout - 1)
+    }
+
+    /// Partition a whole column (the Figure 12 workload).
+    pub fn partition_column<S: Simd>(&self, s: S, keys: &[u32], out: &mut [u32]) {
+        assert!(out.len() >= keys.len());
+        s.vectorize(
+            #[inline(always)]
+            || {
+                for (i, &k) in keys.iter().enumerate() {
+                    out[i] = self.partition_one(s, k) as u32;
+                }
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionFn;
+    use rsv_simd::Portable;
+
+    fn reference(splitters: &[u32], key: u32) -> usize {
+        splitters.iter().filter(|&&s| s < key).count()
+    }
+
+    fn test_keys() -> Vec<u32> {
+        let mut ks: Vec<u32> = vec![0, 1, u32::MAX, u32::MAX - 1];
+        let mut rng = rsv_data::rng(81);
+        ks.extend(rsv_data::uniform_u32(2000, &mut rng));
+        ks
+    }
+
+    #[test]
+    fn scalar_searches_match_reference() {
+        for p in [2usize, 3, 8, 17, 100, 1000] {
+            let splitters = rsv_data::splitters(p);
+            let rp = RangePartitioner::new(&splitters);
+            assert_eq!(rp.fanout(), p);
+            for &k in &test_keys() {
+                let e = reference(&splitters, k);
+                assert_eq!(rp.partition_branching(k), e, "branching p={p} k={k}");
+                assert_eq!(rp.partition_branchless(k), e, "branchless p={p} k={k}");
+                assert_eq!(rp.range_fn().partition(k), e, "rangefn p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_binary_search_matches_reference() {
+        let s = Portable::<16>::new();
+        for p in [2usize, 5, 64, 300] {
+            let splitters = rsv_data::splitters(p);
+            let rp = RangePartitioner::new(&splitters);
+            let f = rp.range_fn();
+            let ks = test_keys();
+            for chunk in ks.chunks_exact(16) {
+                let pv = f.partition_vector(s, s.load(chunk));
+                let mut out = [0u32; 16];
+                s.store(pv, &mut out);
+                for (lane, &k) in chunk.iter().enumerate() {
+                    assert_eq!(out[lane] as usize, reference(&splitters, k), "p={p} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_index_matches_reference() {
+        for lanes in [8usize, 16] {
+            for p in [2usize, 9, 17, 81, 289, 1000] {
+                let splitters = rsv_data::splitters(p);
+                let idx = RangeIndex::new(&splitters, lanes);
+                for &k in &test_keys() {
+                    let e = reference(&splitters, k);
+                    let got = if lanes == 8 {
+                        idx.partition_one(Portable::<8>::new(), k)
+                    } else {
+                        idx.partition_one(Portable::<16>::new(), k)
+                    };
+                    assert_eq!(got, e, "lanes={lanes} p={p} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_depth_is_minimal() {
+        let idx = RangeIndex::new(&rsv_data::splitters(17), 16);
+        assert_eq!(idx.depth(), 1);
+        let idx = RangeIndex::new(&rsv_data::splitters(18), 16);
+        assert_eq!(idx.depth(), 2);
+        let idx = RangeIndex::new(&rsv_data::splitters(289), 16);
+        assert_eq!(idx.depth(), 2);
+        let idx = RangeIndex::new(&rsv_data::splitters(290), 16);
+        assert_eq!(idx.depth(), 3);
+    }
+
+    #[test]
+    fn partition_column_works() {
+        let s = Portable::<16>::new();
+        let splitters = rsv_data::splitters(100);
+        let idx = RangeIndex::new(&splitters, 16);
+        let ks = test_keys();
+        let mut out = vec![0u32; ks.len()];
+        idx.partition_column(s, &ks, &mut out);
+        for (i, &k) in ks.iter().enumerate() {
+            assert_eq!(out[i] as usize, reference(&splitters, k));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn accelerated_backends_match() {
+        let splitters = rsv_data::splitters(500);
+        let rp = RangePartitioner::new(&splitters);
+        let ks = test_keys();
+        if let Some(s) = rsv_simd::Avx512::new() {
+            let f = rp.range_fn();
+            for chunk in ks.chunks_exact(16) {
+                let pv = f.partition_vector(s, s.load(chunk));
+                let mut out = [0u32; 16];
+                s.store(pv, &mut out);
+                for (lane, &k) in chunk.iter().enumerate() {
+                    assert_eq!(out[lane] as usize, reference(&splitters, k));
+                }
+            }
+            let idx = RangeIndex::new(&splitters, 16);
+            for &k in &ks[..200] {
+                assert_eq!(idx.partition_one(s, k), reference(&splitters, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! AVX2 backend: 8 × 32-bit lanes, modeling the paper's Haswell platform.
+//!
+//! Haswell supports hardware gathers but **no** scatters and no selective
+//! loads/stores, so exactly as the paper does (Section 3, Appendix C/D):
+//!
+//! * selective store = compress-permute via a 256-entry permutation table +
+//!   masked store,
+//! * selective load = masked load + expand-permute + blend,
+//! * scatter = scalar stores per lane (software emulation),
+//! * conflict detection = software.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use crate::mask::LaneMask;
+use crate::simd_trait::Simd;
+
+/// For each 8-bit mask, the lane permutation that packs the set lanes to
+/// the front (paper Appendix D's `perm` lookup table).
+static COMPRESS_PERM: [[u32; 8]; 256] = build_compress_table();
+
+/// For each 8-bit mask, the inverse permutation that spreads the first
+/// `popcount` lanes back out to the set positions.
+static EXPAND_PERM: [[u32; 8]; 256] = build_expand_table();
+
+const fn build_compress_table() -> [[u32; 8]; 256] {
+    let mut table = [[0u32; 8]; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut j = 0usize;
+        let mut lane = 0usize;
+        while lane < 8 {
+            if m & (1 << lane) != 0 {
+                table[m][j] = lane as u32;
+                j += 1;
+            }
+            lane += 1;
+        }
+        let mut lane = 0usize;
+        while lane < 8 {
+            if m & (1 << lane) == 0 {
+                table[m][j] = lane as u32;
+                j += 1;
+            }
+            lane += 1;
+        }
+        m += 1;
+    }
+    table
+}
+
+const fn build_expand_table() -> [[u32; 8]; 256] {
+    let mut table = [[0u32; 8]; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut rank = 0u32;
+        let mut lane = 0usize;
+        while lane < 8 {
+            if m & (1 << lane) != 0 {
+                table[m][lane] = rank;
+                rank += 1;
+            }
+            lane += 1;
+        }
+        m += 1;
+    }
+    table
+}
+
+/// AVX2 capability token (`W = 8`).
+#[derive(Clone, Copy, Debug)]
+pub struct Avx2 {
+    _priv: (),
+}
+
+impl Avx2 {
+    /// Detect AVX2 support; `None` if unavailable.
+    #[inline]
+    pub fn new() -> Option<Self> {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Some(Avx2 { _priv: () })
+        } else {
+            None
+        }
+    }
+
+    /// Create the token without checking CPU features.
+    ///
+    /// # Safety
+    /// The caller must guarantee `avx2` is available.
+    #[inline]
+    pub unsafe fn new_unchecked() -> Self {
+        Avx2 { _priv: () }
+    }
+
+    /// Expand a bitmask into an all-ones/all-zeros 32-bit lane mask vector.
+    #[inline(always)]
+    fn mask_vec(self, m: LaneMask<8>) -> __m256i {
+        // SAFETY (here and below): constructing `Avx2` proved avx2.
+        unsafe {
+            let bits = _mm256_set1_epi32(m.bits() as i32);
+            let lane_bit = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+            let hit = _mm256_and_si256(bits, lane_bit);
+            _mm256_cmpeq_epi32(hit, lane_bit)
+        }
+    }
+
+    /// Vector mask with the first `n` 32-bit lanes active.
+    #[inline(always)]
+    fn first_n_vec(self, n: usize) -> __m256i {
+        unsafe {
+            let iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+            let lim = _mm256_set1_epi32(n as i32);
+            _mm256_cmpgt_epi32(lim, iota)
+        }
+    }
+
+    #[inline(always)]
+    fn to_array(self, v: __m256i) -> [u32; 8] {
+        let mut buf = [0u32; 8];
+        unsafe { _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, v) };
+        buf
+    }
+
+    #[inline(always)]
+    fn assert_in_bounds(self, idx: __m256i, len: usize, what: &str) {
+        assert!(
+            len <= i32::MAX as usize,
+            "{what}: slice too long for 32-bit indexes"
+        );
+        let m = self.cmplt(idx, self.splat(len as u32));
+        assert!(m.all_set(), "{what}: index out of bounds (len {len})");
+    }
+
+    #[inline(always)]
+    fn assert_in_bounds_masked(self, m: LaneMask<8>, idx: __m256i, len: usize, what: &str) {
+        assert!(
+            len <= i32::MAX as usize,
+            "{what}: slice too long for 32-bit indexes"
+        );
+        let ok = self.cmplt(idx, self.splat(len as u32));
+        assert!(ok.and(m) == m, "{what}: index out of bounds (len {len})");
+    }
+}
+
+impl Simd for Avx2 {
+    const LANES: usize = 8;
+    type V = __m256i;
+    type M = LaneMask<8>;
+
+    #[inline(always)]
+    fn name(self) -> &'static str {
+        "avx2"
+    }
+
+    #[inline]
+    fn vectorize<R>(self, f: impl FnOnce() -> R) -> R {
+        #[target_feature(enable = "avx2")]
+        unsafe fn inner<R>(f: impl FnOnce() -> R) -> R {
+            f()
+        }
+        // SAFETY: the token proves avx2 is available.
+        unsafe { inner(f) }
+    }
+
+    #[inline(always)]
+    fn splat(self, x: u32) -> Self::V {
+        unsafe { _mm256_set1_epi32(x as i32) }
+    }
+
+    #[inline(always)]
+    fn iota(self) -> Self::V {
+        unsafe { _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7) }
+    }
+
+    #[inline(always)]
+    fn load(self, src: &[u32]) -> Self::V {
+        assert!(src.len() >= 8, "load: src too short");
+        unsafe { _mm256_loadu_si256(src.as_ptr() as *const __m256i) }
+    }
+
+    #[inline(always)]
+    fn store(self, v: Self::V, dst: &mut [u32]) {
+        assert!(dst.len() >= 8, "store: dst too short");
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr() as *mut __m256i, v) }
+    }
+
+    #[inline(always)]
+    fn store_stream(self, v: Self::V, dst: &mut [u32]) {
+        assert!(dst.len() >= 8, "store_stream: dst too short");
+        let ptr = dst.as_mut_ptr();
+        if (ptr as usize).is_multiple_of(32) {
+            unsafe { _mm256_stream_si256(ptr as *mut __m256i, v) }
+        } else {
+            unsafe { _mm256_storeu_si256(ptr as *mut __m256i, v) }
+        }
+    }
+
+    #[inline(always)]
+    fn extract(self, v: Self::V, lane: usize) -> u32 {
+        assert!(lane < 8, "extract: lane out of range");
+        self.to_array(v)[lane]
+    }
+
+    #[inline(always)]
+    fn add(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm256_add_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn sub(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm256_sub_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn mullo(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm256_mullo_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn mulhi(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe {
+            let evens = _mm256_mul_epu32(a, b);
+            let odds = _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), _mm256_srli_epi64::<32>(b));
+            let hi_evens = _mm256_srli_epi64::<32>(evens);
+            _mm256_blend_epi32::<0b1010_1010>(hi_evens, odds)
+        }
+    }
+
+    #[inline(always)]
+    fn and(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm256_and_si256(a, b) }
+    }
+
+    #[inline(always)]
+    fn or(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm256_or_si256(a, b) }
+    }
+
+    #[inline(always)]
+    fn xor(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm256_xor_si256(a, b) }
+    }
+
+    #[inline(always)]
+    fn andnot(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm256_andnot_si256(a, b) }
+    }
+
+    #[inline(always)]
+    fn shl(self, v: Self::V, count: u32) -> Self::V {
+        debug_assert!(count < 32);
+        unsafe { _mm256_sllv_epi32(v, _mm256_set1_epi32(count as i32)) }
+    }
+
+    #[inline(always)]
+    fn shr(self, v: Self::V, count: u32) -> Self::V {
+        debug_assert!(count < 32);
+        unsafe { _mm256_srlv_epi32(v, _mm256_set1_epi32(count as i32)) }
+    }
+
+    #[inline(always)]
+    fn shlv(self, v: Self::V, counts: Self::V) -> Self::V {
+        unsafe { _mm256_sllv_epi32(v, counts) }
+    }
+
+    #[inline(always)]
+    fn shrv(self, v: Self::V, counts: Self::V) -> Self::V {
+        unsafe { _mm256_srlv_epi32(v, counts) }
+    }
+
+    #[inline(always)]
+    fn cmpeq(self, a: Self::V, b: Self::V) -> Self::M {
+        unsafe {
+            let eq = _mm256_cmpeq_epi32(a, b);
+            LaneMask::from_bits(_mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32)
+        }
+    }
+
+    #[inline(always)]
+    fn cmpne(self, a: Self::V, b: Self::V) -> Self::M {
+        self.cmpeq(a, b).not()
+    }
+
+    #[inline(always)]
+    fn cmplt(self, a: Self::V, b: Self::V) -> Self::M {
+        self.cmpgt(b, a)
+    }
+
+    #[inline(always)]
+    fn cmple(self, a: Self::V, b: Self::V) -> Self::M {
+        self.cmpgt(a, b).not()
+    }
+
+    #[inline(always)]
+    fn cmpgt(self, a: Self::V, b: Self::V) -> Self::M {
+        unsafe {
+            // AVX2 only has signed compares; flip the sign bit for unsigned.
+            let bias = _mm256_set1_epi32(i32::MIN);
+            let gt = _mm256_cmpgt_epi32(_mm256_xor_si256(a, bias), _mm256_xor_si256(b, bias));
+            LaneMask::from_bits(_mm256_movemask_ps(_mm256_castsi256_ps(gt)) as u32)
+        }
+    }
+
+    #[inline(always)]
+    fn cmpge(self, a: Self::V, b: Self::V) -> Self::M {
+        self.cmplt(a, b).not()
+    }
+
+    #[inline(always)]
+    fn blend(self, m: Self::M, on_true: Self::V, on_false: Self::V) -> Self::V {
+        let vm = self.mask_vec(m);
+        unsafe { _mm256_blendv_epi8(on_false, on_true, vm) }
+    }
+
+    #[inline(always)]
+    fn permute(self, v: Self::V, idx: Self::V) -> Self::V {
+        // vpermd uses the low 3 bits of each index lane: idx % 8.
+        unsafe { _mm256_permutevar8x32_epi32(v, idx) }
+    }
+
+    #[inline(always)]
+    fn selective_store(self, dst: &mut [u32], m: Self::M, v: Self::V) -> usize {
+        let count = m.count();
+        assert!(dst.len() >= count, "selective_store: dst too short");
+        unsafe {
+            let perm =
+                _mm256_loadu_si256(COMPRESS_PERM[m.bits() as usize].as_ptr() as *const __m256i);
+            let packed = _mm256_permutevar8x32_epi32(v, perm);
+            let store_mask = self.first_n_vec(count);
+            _mm256_maskstore_epi32(dst.as_mut_ptr() as *mut i32, store_mask, packed);
+        }
+        count
+    }
+
+    #[inline(always)]
+    fn selective_load(self, v: Self::V, m: Self::M, src: &[u32]) -> Self::V {
+        let count = m.count();
+        assert!(src.len() >= count, "selective_load: src too short");
+        unsafe {
+            let load_mask = self.first_n_vec(count);
+            let packed = _mm256_maskload_epi32(src.as_ptr() as *const i32, load_mask);
+            let perm =
+                _mm256_loadu_si256(EXPAND_PERM[m.bits() as usize].as_ptr() as *const __m256i);
+            let spread = _mm256_permutevar8x32_epi32(packed, perm);
+            let vm = self.mask_vec(m);
+            _mm256_blendv_epi8(v, spread, vm)
+        }
+    }
+
+    #[inline(always)]
+    fn gather(self, src: &[u32], idx: Self::V) -> Self::V {
+        self.assert_in_bounds(idx, src.len(), "gather");
+        unsafe { _mm256_i32gather_epi32::<4>(src.as_ptr() as *const i32, idx) }
+    }
+
+    #[inline(always)]
+    fn gather_masked(self, prev: Self::V, m: Self::M, src: &[u32], idx: Self::V) -> Self::V {
+        self.assert_in_bounds_masked(m, idx, src.len(), "gather_masked");
+        let vm = self.mask_vec(m);
+        // Zero out inactive indexes so the hardware never dereferences them.
+        let safe_idx = self.and(idx, vm);
+        unsafe { _mm256_mask_i32gather_epi32::<4>(prev, src.as_ptr() as *const i32, safe_idx, vm) }
+    }
+
+    #[inline(always)]
+    fn scatter(self, dst: &mut [u32], idx: Self::V, v: Self::V) {
+        // Haswell has no scatter instruction: emulated with scalar stores.
+        let idx = self.to_array(idx);
+        let val = self.to_array(v);
+        for i in 0..8 {
+            dst[idx[i] as usize] = val[i];
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_masked(self, dst: &mut [u32], m: Self::M, idx: Self::V, v: Self::V) {
+        let idx = self.to_array(idx);
+        let val = self.to_array(v);
+        for i in 0..8 {
+            if m.get(i) {
+                dst[idx[i] as usize] = val[i];
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn gather_pairs(self, src: &[u64], idx: Self::V) -> (Self::V, Self::V) {
+        self.assert_in_bounds(idx, src.len(), "gather_pairs");
+        unsafe {
+            let idx_lo = _mm256_castsi256_si128(idx);
+            let idx_hi = _mm256_extracti128_si256::<1>(idx);
+            let base = src.as_ptr() as *const i64;
+            let lo = _mm256_i32gather_epi64::<8>(base, idx_lo);
+            let hi = _mm256_i32gather_epi64::<8>(base, idx_hi);
+            let ksel = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+            let vsel = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+            let ka = _mm256_permutevar8x32_epi32(lo, ksel);
+            let kb = _mm256_permutevar8x32_epi32(hi, ksel);
+            let va = _mm256_permutevar8x32_epi32(lo, vsel);
+            let vb = _mm256_permutevar8x32_epi32(hi, vsel);
+            let keys = _mm256_blend_epi32::<0b1111_0000>(ka, kb);
+            let vals = _mm256_blend_epi32::<0b1111_0000>(va, vb);
+            (keys, vals)
+        }
+    }
+
+    #[inline(always)]
+    fn gather_pairs_masked(
+        self,
+        prev: (Self::V, Self::V),
+        m: Self::M,
+        src: &[u64],
+        idx: Self::V,
+    ) -> (Self::V, Self::V) {
+        self.assert_in_bounds_masked(m, idx, src.len(), "gather_pairs_masked");
+        // Software fallback: gather pairs per active lane (Haswell-era code
+        // would structure this identically around the 64-bit masked gather;
+        // we keep the scalar loop for clarity since payload extraction
+        // dominates either way).
+        let idxs = self.to_array(idx);
+        let mut keys = self.to_array(prev.0);
+        let mut vals = self.to_array(prev.1);
+        for i in 0..8 {
+            if m.get(i) {
+                let pair = src[idxs[i] as usize];
+                keys[i] = pair as u32;
+                vals[i] = (pair >> 32) as u32;
+            }
+        }
+        (self.load(&keys), self.load(&vals))
+    }
+
+    #[inline(always)]
+    fn scatter_pairs(self, dst: &mut [u64], idx: Self::V, keys: Self::V, vals: Self::V) {
+        let idxs = self.to_array(idx);
+        let k = self.to_array(keys);
+        let v = self.to_array(vals);
+        for i in 0..8 {
+            dst[idxs[i] as usize] = u64::from(k[i]) | (u64::from(v[i]) << 32);
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_pairs_masked(
+        self,
+        dst: &mut [u64],
+        m: Self::M,
+        idx: Self::V,
+        keys: Self::V,
+        vals: Self::V,
+    ) {
+        let idxs = self.to_array(idx);
+        let k = self.to_array(keys);
+        let v = self.to_array(vals);
+        for i in 0..8 {
+            if m.get(i) {
+                dst[idxs[i] as usize] = u64::from(k[i]) | (u64::from(v[i]) << 32);
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn load_pairs(self, src: &[u64]) -> (Self::V, Self::V) {
+        assert!(src.len() >= 8, "load_pairs: src too short");
+        unsafe {
+            let lo = _mm256_loadu_si256(src.as_ptr() as *const __m256i);
+            let hi = _mm256_loadu_si256(src.as_ptr().add(4) as *const __m256i);
+            let ksel = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+            let vsel = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+            let ka = _mm256_permutevar8x32_epi32(lo, ksel);
+            let kb = _mm256_permutevar8x32_epi32(hi, ksel);
+            let va = _mm256_permutevar8x32_epi32(lo, vsel);
+            let vb = _mm256_permutevar8x32_epi32(hi, vsel);
+            (
+                _mm256_blend_epi32::<0b1111_0000>(ka, kb),
+                _mm256_blend_epi32::<0b1111_0000>(va, vb),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn gather_bytes(self, src: &[u8], idx: Self::V) -> Self::V {
+        assert!(
+            src.len().is_multiple_of(4),
+            "gather_bytes: src length must be a multiple of 4"
+        );
+        self.assert_in_bounds(idx, src.len(), "gather_bytes");
+        unsafe {
+            let word_idx = _mm256_srlv_epi32(idx, _mm256_set1_epi32(2));
+            let words = _mm256_i32gather_epi32::<4>(src.as_ptr() as *const i32, word_idx);
+            let shift = _mm256_sllv_epi32(
+                _mm256_and_si256(idx, _mm256_set1_epi32(3)),
+                _mm256_set1_epi32(3),
+            );
+            _mm256_and_si256(_mm256_srlv_epi32(words, shift), _mm256_set1_epi32(0xFF))
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_bytes(self, dst: &mut [u8], idx: Self::V, v: Self::V) {
+        assert!(
+            dst.len().is_multiple_of(4),
+            "scatter_bytes: dst length must be a multiple of 4"
+        );
+        let idxs = self.to_array(idx);
+        let vals = self.to_array(v);
+        for i in 0..8 {
+            dst[idxs[i] as usize] = vals[i] as u8;
+        }
+    }
+
+    #[inline(always)]
+    fn conflict(self, v: Self::V) -> Self::V {
+        let lanes = self.to_array(v);
+        let mut r = [0u32; 8];
+        for i in 1..8 {
+            let mut bits = 0u32;
+            for (j, &lane) in lanes.iter().enumerate().take(i) {
+                bits |= u32::from(lane == lanes[i]) << j;
+            }
+            r[i] = bits;
+        }
+        self.load(&r)
+    }
+
+    #[inline(always)]
+    fn reduce_add_u64(self, v: Self::V) -> u64 {
+        self.to_array(v).iter().map(|&x| u64::from(x)).sum()
+    }
+}

@@ -1,0 +1,462 @@
+//! AVX-512 backend: 16 × 32-bit lanes with hardware gathers, scatters,
+//! compress (selective store), expand (selective load) and `vpconflictd`.
+//!
+//! This is the reproduction's stand-in for the paper's Xeon Phi platform:
+//! identical vector width (512-bit, W = 16) and the same fundamental
+//! operation set, on the ISA the paper anticipated as "AVX 3".
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use crate::mask::LaneMask;
+use crate::simd_trait::Simd;
+
+/// AVX-512 capability token (`W = 16`).
+///
+/// Constructing it via [`Avx512::new`] proves at runtime that `avx512f` and
+/// `avx512cd` are available, which makes every operation safe to call.
+#[derive(Clone, Copy, Debug)]
+pub struct Avx512 {
+    _priv: (),
+}
+
+impl Avx512 {
+    /// Detect AVX-512 support; returns `None` when `avx512f`/`avx512cd` are
+    /// not available on this CPU.
+    #[inline]
+    pub fn new() -> Option<Self> {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512cd")
+        {
+            Some(Avx512 { _priv: () })
+        } else {
+            None
+        }
+    }
+
+    /// Create the token without checking CPU features.
+    ///
+    /// # Safety
+    /// The caller must guarantee `avx512f` and `avx512cd` are available.
+    #[inline]
+    pub unsafe fn new_unchecked() -> Self {
+        Avx512 { _priv: () }
+    }
+
+    #[inline(always)]
+    fn assert_in_bounds(self, idx: __m512i, len: usize, what: &str) {
+        assert!(
+            len <= i32::MAX as usize,
+            "{what}: slice too long for 32-bit indexes"
+        );
+        // SAFETY: token proves avx512f.
+        let ok = unsafe { _mm512_cmplt_epu32_mask(idx, _mm512_set1_epi32(len as i32)) };
+        assert!(ok == 0xFFFF, "{what}: index out of bounds (len {len})");
+    }
+
+    #[inline(always)]
+    fn assert_in_bounds_masked(self, m: __mmask16, idx: __m512i, len: usize, what: &str) {
+        assert!(
+            len <= i32::MAX as usize,
+            "{what}: slice too long for 32-bit indexes"
+        );
+        // SAFETY: token proves avx512f.
+        let ok = unsafe { _mm512_mask_cmplt_epu32_mask(m, idx, _mm512_set1_epi32(len as i32)) };
+        assert!(ok == m, "{what}: index out of bounds (len {len})");
+    }
+}
+
+/// Lane-id permutation pulling the 16 keys (even dwords) out of two
+/// interleaved pair vectors passed as (a = pairs 0..8, b = pairs 8..16).
+#[inline(always)]
+unsafe fn key_sel() -> __m512i {
+    _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30)
+}
+
+/// As [`key_sel`], for the payloads (odd dwords).
+#[inline(always)]
+unsafe fn val_sel() -> __m512i {
+    _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31)
+}
+
+/// Interleave keys (a) and values (b) into the low 8 pairs.
+#[inline(always)]
+unsafe fn pair_lo_sel() -> __m512i {
+    _mm512_setr_epi32(0, 16, 1, 17, 2, 18, 3, 19, 4, 20, 5, 21, 6, 22, 7, 23)
+}
+
+/// Interleave keys (a) and values (b) into the high 8 pairs.
+#[inline(always)]
+unsafe fn pair_hi_sel() -> __m512i {
+    _mm512_setr_epi32(8, 24, 9, 25, 10, 26, 11, 27, 12, 28, 13, 29, 14, 30, 15, 31)
+}
+
+impl Simd for Avx512 {
+    const LANES: usize = 16;
+    type V = __m512i;
+    type M = LaneMask<16>;
+
+    #[inline(always)]
+    fn name(self) -> &'static str {
+        "avx512"
+    }
+
+    #[inline]
+    fn vectorize<R>(self, f: impl FnOnce() -> R) -> R {
+        #[target_feature(enable = "avx512f,avx512cd")]
+        unsafe fn inner<R>(f: impl FnOnce() -> R) -> R {
+            f()
+        }
+        // SAFETY: the token proves the features are available.
+        unsafe { inner(f) }
+    }
+
+    #[inline(always)]
+    fn splat(self, x: u32) -> Self::V {
+        // SAFETY (here and below): constructing `Avx512` proved avx512f+cd.
+        unsafe { _mm512_set1_epi32(x as i32) }
+    }
+
+    #[inline(always)]
+    fn iota(self) -> Self::V {
+        unsafe { _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15) }
+    }
+
+    #[inline(always)]
+    fn load(self, src: &[u32]) -> Self::V {
+        assert!(src.len() >= 16, "load: src too short");
+        unsafe { _mm512_loadu_epi32(src.as_ptr() as *const i32) }
+    }
+
+    #[inline(always)]
+    fn store(self, v: Self::V, dst: &mut [u32]) {
+        assert!(dst.len() >= 16, "store: dst too short");
+        unsafe { _mm512_storeu_epi32(dst.as_mut_ptr() as *mut i32, v) }
+    }
+
+    #[inline(always)]
+    fn store_stream(self, v: Self::V, dst: &mut [u32]) {
+        assert!(dst.len() >= 16, "store_stream: dst too short");
+        let ptr = dst.as_mut_ptr();
+        if (ptr as usize).is_multiple_of(64) {
+            unsafe { _mm512_stream_si512(ptr as *mut __m512i, v) }
+        } else {
+            unsafe { _mm512_storeu_epi32(ptr as *mut i32, v) }
+        }
+    }
+
+    #[inline(always)]
+    fn extract(self, v: Self::V, lane: usize) -> u32 {
+        assert!(lane < 16, "extract: lane out of range");
+        let mut buf = [0u32; 16];
+        unsafe { _mm512_storeu_epi32(buf.as_mut_ptr() as *mut i32, v) };
+        buf[lane]
+    }
+
+    #[inline(always)]
+    fn add(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_add_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn sub(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_sub_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn mullo(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_mullo_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn mulhi(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe {
+            let evens = _mm512_mul_epu32(a, b);
+            let odds = _mm512_mul_epu32(_mm512_srli_epi64::<32>(a), _mm512_srli_epi64::<32>(b));
+            let hi_evens = _mm512_srli_epi64::<32>(evens);
+            _mm512_mask_blend_epi32(0b1010_1010_1010_1010, hi_evens, odds)
+        }
+    }
+
+    #[inline(always)]
+    fn and(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_and_si512(a, b) }
+    }
+
+    #[inline(always)]
+    fn or(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_or_si512(a, b) }
+    }
+
+    #[inline(always)]
+    fn xor(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_xor_si512(a, b) }
+    }
+
+    #[inline(always)]
+    fn andnot(self, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_andnot_si512(a, b) }
+    }
+
+    #[inline(always)]
+    fn shl(self, v: Self::V, count: u32) -> Self::V {
+        debug_assert!(count < 32);
+        unsafe { _mm512_sllv_epi32(v, _mm512_set1_epi32(count as i32)) }
+    }
+
+    #[inline(always)]
+    fn shr(self, v: Self::V, count: u32) -> Self::V {
+        debug_assert!(count < 32);
+        unsafe { _mm512_srlv_epi32(v, _mm512_set1_epi32(count as i32)) }
+    }
+
+    #[inline(always)]
+    fn shlv(self, v: Self::V, counts: Self::V) -> Self::V {
+        unsafe { _mm512_sllv_epi32(v, counts) }
+    }
+
+    #[inline(always)]
+    fn shrv(self, v: Self::V, counts: Self::V) -> Self::V {
+        unsafe { _mm512_srlv_epi32(v, counts) }
+    }
+
+    #[inline(always)]
+    fn cmpeq(self, a: Self::V, b: Self::V) -> Self::M {
+        LaneMask::from_bits(unsafe { _mm512_cmpeq_epu32_mask(a, b) } as u32)
+    }
+
+    #[inline(always)]
+    fn cmpne(self, a: Self::V, b: Self::V) -> Self::M {
+        LaneMask::from_bits(unsafe { _mm512_cmpneq_epu32_mask(a, b) } as u32)
+    }
+
+    #[inline(always)]
+    fn cmplt(self, a: Self::V, b: Self::V) -> Self::M {
+        LaneMask::from_bits(unsafe { _mm512_cmplt_epu32_mask(a, b) } as u32)
+    }
+
+    #[inline(always)]
+    fn cmple(self, a: Self::V, b: Self::V) -> Self::M {
+        LaneMask::from_bits(unsafe { _mm512_cmple_epu32_mask(a, b) } as u32)
+    }
+
+    #[inline(always)]
+    fn cmpgt(self, a: Self::V, b: Self::V) -> Self::M {
+        LaneMask::from_bits(unsafe { _mm512_cmpgt_epu32_mask(a, b) } as u32)
+    }
+
+    #[inline(always)]
+    fn cmpge(self, a: Self::V, b: Self::V) -> Self::M {
+        LaneMask::from_bits(unsafe { _mm512_cmpge_epu32_mask(a, b) } as u32)
+    }
+
+    #[inline(always)]
+    fn blend(self, m: Self::M, on_true: Self::V, on_false: Self::V) -> Self::V {
+        unsafe { _mm512_mask_blend_epi32(m.bits() as __mmask16, on_false, on_true) }
+    }
+
+    #[inline(always)]
+    fn permute(self, v: Self::V, idx: Self::V) -> Self::V {
+        // vpermd uses the low 4 bits of each index lane: idx % 16.
+        unsafe { _mm512_permutexvar_epi32(idx, v) }
+    }
+
+    #[inline(always)]
+    fn selective_store(self, dst: &mut [u32], m: Self::M, v: Self::V) -> usize {
+        let count = m.count();
+        assert!(dst.len() >= count, "selective_store: dst too short");
+        unsafe {
+            let packed = _mm512_maskz_compress_epi32(m.bits() as __mmask16, v);
+            let lowmask = LaneMask::<16>::first_n(count).bits() as __mmask16;
+            _mm512_mask_storeu_epi32(dst.as_mut_ptr() as *mut i32, lowmask, packed);
+        }
+        count
+    }
+
+    #[inline(always)]
+    fn selective_load(self, v: Self::V, m: Self::M, src: &[u32]) -> Self::V {
+        let count = m.count();
+        assert!(src.len() >= count, "selective_load: src too short");
+        unsafe {
+            let lowmask = LaneMask::<16>::first_n(count).bits() as __mmask16;
+            let packed = _mm512_maskz_loadu_epi32(lowmask, src.as_ptr() as *const i32);
+            _mm512_mask_expand_epi32(v, m.bits() as __mmask16, packed)
+        }
+    }
+
+    #[inline(always)]
+    fn gather(self, src: &[u32], idx: Self::V) -> Self::V {
+        self.assert_in_bounds(idx, src.len(), "gather");
+        unsafe { _mm512_i32gather_epi32::<4>(idx, src.as_ptr() as *const i32) }
+    }
+
+    #[inline(always)]
+    fn gather_masked(self, prev: Self::V, m: Self::M, src: &[u32], idx: Self::V) -> Self::V {
+        let k = m.bits() as __mmask16;
+        self.assert_in_bounds_masked(k, idx, src.len(), "gather_masked");
+        unsafe { _mm512_mask_i32gather_epi32::<4>(prev, k, idx, src.as_ptr() as *const i32) }
+    }
+
+    #[inline(always)]
+    fn scatter(self, dst: &mut [u32], idx: Self::V, v: Self::V) {
+        self.assert_in_bounds(idx, dst.len(), "scatter");
+        unsafe { _mm512_i32scatter_epi32::<4>(dst.as_mut_ptr() as *mut i32, idx, v) }
+    }
+
+    #[inline(always)]
+    fn scatter_masked(self, dst: &mut [u32], m: Self::M, idx: Self::V, v: Self::V) {
+        let k = m.bits() as __mmask16;
+        self.assert_in_bounds_masked(k, idx, dst.len(), "scatter_masked");
+        unsafe { _mm512_mask_i32scatter_epi32::<4>(dst.as_mut_ptr() as *mut i32, k, idx, v) }
+    }
+
+    #[inline(always)]
+    fn gather_pairs(self, src: &[u64], idx: Self::V) -> (Self::V, Self::V) {
+        self.assert_in_bounds(idx, src.len(), "gather_pairs");
+        unsafe {
+            let idx_lo = _mm512_castsi512_si256(idx);
+            let idx_hi = _mm512_extracti64x4_epi64::<1>(idx);
+            let base = src.as_ptr() as *const i64;
+            let lo = _mm512_i32gather_epi64::<8>(idx_lo, base);
+            let hi = _mm512_i32gather_epi64::<8>(idx_hi, base);
+            let keys = _mm512_permutex2var_epi32(lo, key_sel(), hi);
+            let vals = _mm512_permutex2var_epi32(lo, val_sel(), hi);
+            (keys, vals)
+        }
+    }
+
+    #[inline(always)]
+    fn gather_pairs_masked(
+        self,
+        prev: (Self::V, Self::V),
+        m: Self::M,
+        src: &[u64],
+        idx: Self::V,
+    ) -> (Self::V, Self::V) {
+        let k = m.bits() as __mmask16;
+        self.assert_in_bounds_masked(k, idx, src.len(), "gather_pairs_masked");
+        unsafe {
+            let idx_lo = _mm512_castsi512_si256(idx);
+            let idx_hi = _mm512_extracti64x4_epi64::<1>(idx);
+            let base = src.as_ptr() as *const i64;
+            let prev_lo = _mm512_permutex2var_epi32(prev.0, pair_lo_sel(), prev.1);
+            let prev_hi = _mm512_permutex2var_epi32(prev.0, pair_hi_sel(), prev.1);
+            let lo =
+                _mm512_mask_i32gather_epi64::<8>(prev_lo, (k & 0xFF) as __mmask8, idx_lo, base);
+            let hi = _mm512_mask_i32gather_epi64::<8>(prev_hi, (k >> 8) as __mmask8, idx_hi, base);
+            let keys = _mm512_permutex2var_epi32(lo, key_sel(), hi);
+            let vals = _mm512_permutex2var_epi32(lo, val_sel(), hi);
+            (keys, vals)
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_pairs(self, dst: &mut [u64], idx: Self::V, keys: Self::V, vals: Self::V) {
+        self.assert_in_bounds(idx, dst.len(), "scatter_pairs");
+        unsafe {
+            let idx_lo = _mm512_castsi512_si256(idx);
+            let idx_hi = _mm512_extracti64x4_epi64::<1>(idx);
+            let base = dst.as_mut_ptr() as *mut i64;
+            let lo = _mm512_permutex2var_epi32(keys, pair_lo_sel(), vals);
+            let hi = _mm512_permutex2var_epi32(keys, pair_hi_sel(), vals);
+            _mm512_i32scatter_epi64::<8>(base, idx_lo, lo);
+            _mm512_i32scatter_epi64::<8>(base, idx_hi, hi);
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_pairs_masked(
+        self,
+        dst: &mut [u64],
+        m: Self::M,
+        idx: Self::V,
+        keys: Self::V,
+        vals: Self::V,
+    ) {
+        let k = m.bits() as __mmask16;
+        self.assert_in_bounds_masked(k, idx, dst.len(), "scatter_pairs_masked");
+        unsafe {
+            let idx_lo = _mm512_castsi512_si256(idx);
+            let idx_hi = _mm512_extracti64x4_epi64::<1>(idx);
+            let base = dst.as_mut_ptr() as *mut i64;
+            let lo = _mm512_permutex2var_epi32(keys, pair_lo_sel(), vals);
+            let hi = _mm512_permutex2var_epi32(keys, pair_hi_sel(), vals);
+            _mm512_mask_i32scatter_epi64::<8>(base, (k & 0xFF) as __mmask8, idx_lo, lo);
+            _mm512_mask_i32scatter_epi64::<8>(base, (k >> 8) as __mmask8, idx_hi, hi);
+        }
+    }
+
+    #[inline(always)]
+    fn load_pairs(self, src: &[u64]) -> (Self::V, Self::V) {
+        assert!(src.len() >= 16, "load_pairs: src too short");
+        unsafe {
+            let lo = _mm512_loadu_si512(src.as_ptr() as *const __m512i);
+            let hi = _mm512_loadu_si512(src.as_ptr().add(8) as *const __m512i);
+            let keys = _mm512_permutex2var_epi32(lo, key_sel(), hi);
+            let vals = _mm512_permutex2var_epi32(lo, val_sel(), hi);
+            (keys, vals)
+        }
+    }
+
+    #[inline(always)]
+    fn gather_bytes(self, src: &[u8], idx: Self::V) -> Self::V {
+        assert!(
+            src.len().is_multiple_of(4),
+            "gather_bytes: src length must be a multiple of 4"
+        );
+        self.assert_in_bounds(idx, src.len(), "gather_bytes");
+        unsafe {
+            let word_idx = _mm512_srlv_epi32(idx, _mm512_set1_epi32(2));
+            let words = _mm512_i32gather_epi32::<4>(word_idx, src.as_ptr() as *const i32);
+            let shift = _mm512_sllv_epi32(
+                _mm512_and_si512(idx, _mm512_set1_epi32(3)),
+                _mm512_set1_epi32(3),
+            );
+            _mm512_and_si512(_mm512_srlv_epi32(words, shift), _mm512_set1_epi32(0xFF))
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_bytes(self, dst: &mut [u8], idx: Self::V, v: Self::V) {
+        assert!(
+            dst.len().is_multiple_of(4),
+            "scatter_bytes: dst length must be a multiple of 4"
+        );
+        self.assert_in_bounds(idx, dst.len(), "scatter_bytes");
+        unsafe {
+            let word_idx = _mm512_srlv_epi32(idx, _mm512_set1_epi32(2));
+            #[cfg(debug_assertions)]
+            {
+                // Two lanes in the same 32-bit word (at different bytes) would
+                // lose one write in the read-modify-write emulation.
+                let conflicts = _mm512_conflict_epi32(word_idx);
+                let same_byte = _mm512_conflict_epi32(idx);
+                let diff = _mm512_cmpneq_epu32_mask(conflicts, same_byte);
+                debug_assert!(diff == 0, "scatter_bytes: lanes alias the same 32-bit word");
+            }
+            let words = _mm512_i32gather_epi32::<4>(word_idx, dst.as_ptr() as *const i32);
+            let shift = _mm512_sllv_epi32(
+                _mm512_and_si512(idx, _mm512_set1_epi32(3)),
+                _mm512_set1_epi32(3),
+            );
+            let keep =
+                _mm512_andnot_si512(_mm512_sllv_epi32(_mm512_set1_epi32(0xFF), shift), words);
+            let byte = _mm512_sllv_epi32(_mm512_and_si512(v, _mm512_set1_epi32(0xFF)), shift);
+            let new_words = _mm512_or_si512(keep, byte);
+            _mm512_i32scatter_epi32::<4>(dst.as_mut_ptr() as *mut i32, word_idx, new_words);
+        }
+    }
+
+    #[inline(always)]
+    fn conflict(self, v: Self::V) -> Self::V {
+        unsafe { _mm512_conflict_epi32(v) }
+    }
+
+    #[inline(always)]
+    fn reduce_add_u64(self, v: Self::V) -> u64 {
+        let mut buf = [0u32; 16];
+        unsafe { _mm512_storeu_epi32(buf.as_mut_ptr() as *mut i32, v) };
+        buf.iter().map(|&x| u64::from(x)).sum()
+    }
+}

@@ -1,0 +1,214 @@
+//! Lane masks shared by every backend.
+
+use core::fmt;
+
+/// A boolean mask over `W` vector lanes, stored as a bitmask.
+///
+/// Bit `i` corresponds to lane `i`. The paper treats masks as first-class
+/// scalar-register values (Xeon Phi `kN` mask registers); on AVX-512 this
+/// maps 1:1 onto `__mmask16`, on AVX2 it is materialized from `movemask`,
+/// and the portable backend manipulates it directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneMask<const W: usize>(u32);
+
+impl<const W: usize> LaneMask<W> {
+    const VALID: u32 = if W == 32 { u32::MAX } else { (1u32 << W) - 1 };
+
+    /// Mask with no lanes active.
+    #[inline(always)]
+    pub const fn none() -> Self {
+        LaneMask(0)
+    }
+
+    /// Mask with all `W` lanes active.
+    #[inline(always)]
+    pub const fn all() -> Self {
+        LaneMask(Self::VALID)
+    }
+
+    /// Build a mask from raw bits; bits at positions `>= W` are discarded.
+    #[inline(always)]
+    pub const fn from_bits(bits: u32) -> Self {
+        LaneMask(bits & Self::VALID)
+    }
+
+    /// Mask with the first `n` lanes (lanes `0..n`) active.
+    #[inline(always)]
+    pub const fn first_n(n: usize) -> Self {
+        debug_assert!(n <= W);
+        if n >= 32 {
+            LaneMask(Self::VALID)
+        } else {
+            LaneMask(((1u32 << n) - 1) & Self::VALID)
+        }
+    }
+
+    /// The raw bitmask (bit `i` = lane `i`).
+    #[inline(always)]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of active lanes.
+    #[inline(always)]
+    pub const fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if at least one lane is active.
+    #[inline(always)]
+    pub const fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// `true` if no lane is active.
+    #[inline(always)]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if every one of the `W` lanes is active.
+    #[inline(always)]
+    pub const fn all_set(self) -> bool {
+        self.0 == Self::VALID
+    }
+
+    /// Whether lane `i` is active.
+    #[inline(always)]
+    pub const fn get(self, lane: usize) -> bool {
+        debug_assert!(lane < W);
+        (self.0 >> lane) & 1 == 1
+    }
+
+    /// Return a copy with lane `i` set to `value`.
+    #[inline(always)]
+    pub const fn with(self, lane: usize, value: bool) -> Self {
+        debug_assert!(lane < W);
+        if value {
+            LaneMask(self.0 | (1 << lane))
+        } else {
+            LaneMask(self.0 & !(1 << lane))
+        }
+    }
+
+    /// Index of the lowest active lane, if any.
+    #[inline(always)]
+    pub const fn first_set(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Lane-wise AND.
+    #[inline(always)]
+    pub const fn and(self, other: Self) -> Self {
+        LaneMask(self.0 & other.0)
+    }
+
+    /// Lane-wise OR.
+    #[inline(always)]
+    pub const fn or(self, other: Self) -> Self {
+        LaneMask(self.0 | other.0)
+    }
+
+    /// Lane-wise XOR.
+    #[inline(always)]
+    pub const fn xor(self, other: Self) -> Self {
+        LaneMask(self.0 ^ other.0)
+    }
+
+    /// Lane-wise NOT (within the `W` valid lanes).
+    #[inline(always)]
+    pub const fn not(self) -> Self {
+        LaneMask(!self.0 & Self::VALID)
+    }
+
+    /// `!self & other` — the lanes active in `other` but not in `self`.
+    #[inline(always)]
+    pub const fn andnot(self, other: Self) -> Self {
+        LaneMask(!self.0 & other.0)
+    }
+
+    /// Iterate over the indexes of active lanes, lowest first.
+    #[inline]
+    pub fn iter_set(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        core::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(lane)
+            }
+        })
+    }
+}
+
+impl<const W: usize> fmt::Debug for LaneMask<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaneMask<{W}>(")?;
+        for lane in 0..W {
+            write!(f, "{}", u8::from(self.get(lane)))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bits() {
+        let m = LaneMask::<8>::from_bits(0b1010_1010);
+        assert_eq!(m.bits(), 0b1010_1010);
+        assert_eq!(m.count(), 4);
+        assert!(m.any());
+        assert!(!m.all_set());
+        assert!(!m.is_empty());
+        // bits beyond W are discarded
+        let m = LaneMask::<8>::from_bits(0xFFFF_FF00);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn all_none_first_n() {
+        assert_eq!(LaneMask::<16>::all().bits(), 0xFFFF);
+        assert_eq!(LaneMask::<16>::none().bits(), 0);
+        assert_eq!(LaneMask::<16>::first_n(0).bits(), 0);
+        assert_eq!(LaneMask::<16>::first_n(3).bits(), 0b111);
+        assert_eq!(LaneMask::<16>::first_n(16).bits(), 0xFFFF);
+    }
+
+    #[test]
+    fn lane_accessors() {
+        let m = LaneMask::<16>::from_bits(0b100);
+        assert!(m.get(2));
+        assert!(!m.get(0));
+        assert_eq!(m.first_set(), Some(2));
+        assert_eq!(LaneMask::<16>::none().first_set(), None);
+        let m2 = m.with(0, true).with(2, false);
+        assert_eq!(m2.bits(), 0b001);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = LaneMask::<8>::from_bits(0b1100);
+        let b = LaneMask::<8>::from_bits(0b1010);
+        assert_eq!(a.and(b).bits(), 0b1000);
+        assert_eq!(a.or(b).bits(), 0b1110);
+        assert_eq!(a.xor(b).bits(), 0b0110);
+        assert_eq!(a.not().bits(), 0b1111_0011);
+        assert_eq!(a.andnot(b).bits(), 0b0010);
+    }
+
+    #[test]
+    fn iter_set_visits_low_to_high() {
+        let m = LaneMask::<16>::from_bits(0b1000_0000_0101);
+        let lanes: Vec<usize> = m.iter_set().collect();
+        assert_eq!(lanes, vec![0, 2, 11]);
+    }
+}

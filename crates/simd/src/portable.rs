@@ -1,0 +1,639 @@
+//! Portable reference backend: plain safe Rust over `[u32; W]`.
+//!
+//! This backend defines the executable semantics every accelerated backend
+//! must match (the equivalence property tests compare against it). It is
+//! also the fallback on hardware without AVX2/AVX-512.
+
+use crate::mask::LaneMask;
+use crate::simd_trait::Simd;
+
+/// Portable backend with `W` 32-bit lanes (`W` must be a power of two,
+/// `1 ≤ W ≤ 32`).
+///
+/// `Portable::<16>` models the paper's Xeon Phi vector width and
+/// `Portable::<8>` the Haswell width.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Portable<const W: usize>;
+
+impl<const W: usize> Portable<W> {
+    const VALID: () = assert!(
+        W.is_power_of_two() && W <= 32,
+        "W must be a power of two <= 32"
+    );
+
+    /// Create the portable backend token (always available).
+    #[inline]
+    pub fn new() -> Self {
+        #[allow(clippy::let_unit_value)]
+        let () = Self::VALID;
+        Portable
+    }
+}
+
+impl<const W: usize> Simd for Portable<W> {
+    const LANES: usize = W;
+    type V = [u32; W];
+    type M = LaneMask<W>;
+
+    #[inline(always)]
+    fn name(self) -> &'static str {
+        "portable"
+    }
+
+    #[inline(always)]
+    fn vectorize<R>(self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    #[inline(always)]
+    fn splat(self, x: u32) -> Self::V {
+        [x; W]
+    }
+
+    #[inline(always)]
+    fn iota(self) -> Self::V {
+        let mut v = [0u32; W];
+        for (i, lane) in v.iter_mut().enumerate() {
+            *lane = i as u32;
+        }
+        v
+    }
+
+    #[inline(always)]
+    fn load(self, src: &[u32]) -> Self::V {
+        let mut v = [0u32; W];
+        v.copy_from_slice(&src[..W]);
+        v
+    }
+
+    #[inline(always)]
+    fn store(self, v: Self::V, dst: &mut [u32]) {
+        dst[..W].copy_from_slice(&v);
+    }
+
+    #[inline(always)]
+    fn extract(self, v: Self::V, lane: usize) -> u32 {
+        v[lane]
+    }
+
+    #[inline(always)]
+    fn add(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = a[i].wrapping_add(b[i]);
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn sub(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = a[i].wrapping_sub(b[i]);
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn mullo(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = a[i].wrapping_mul(b[i]);
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn mulhi(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = ((u64::from(a[i]) * u64::from(b[i])) >> 32) as u32;
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn and(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = a[i] & b[i];
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn or(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = a[i] | b[i];
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn xor(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = a[i] ^ b[i];
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn andnot(self, a: Self::V, b: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = !a[i] & b[i];
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn shl(self, v: Self::V, count: u32) -> Self::V {
+        debug_assert!(count < 32);
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = v[i] << count;
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn shr(self, v: Self::V, count: u32) -> Self::V {
+        debug_assert!(count < 32);
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = v[i] >> count;
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn shlv(self, v: Self::V, counts: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            debug_assert!(counts[i] < 32);
+            r[i] = v[i] << counts[i];
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn shrv(self, v: Self::V, counts: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            debug_assert!(counts[i] < 32);
+            r[i] = v[i] >> counts[i];
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn cmpeq(self, a: Self::V, b: Self::V) -> Self::M {
+        let mut bits = 0u32;
+        for i in 0..W {
+            bits |= u32::from(a[i] == b[i]) << i;
+        }
+        LaneMask::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn cmpne(self, a: Self::V, b: Self::V) -> Self::M {
+        let mut bits = 0u32;
+        for i in 0..W {
+            bits |= u32::from(a[i] != b[i]) << i;
+        }
+        LaneMask::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn cmplt(self, a: Self::V, b: Self::V) -> Self::M {
+        let mut bits = 0u32;
+        for i in 0..W {
+            bits |= u32::from(a[i] < b[i]) << i;
+        }
+        LaneMask::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn cmple(self, a: Self::V, b: Self::V) -> Self::M {
+        let mut bits = 0u32;
+        for i in 0..W {
+            bits |= u32::from(a[i] <= b[i]) << i;
+        }
+        LaneMask::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn cmpgt(self, a: Self::V, b: Self::V) -> Self::M {
+        let mut bits = 0u32;
+        for i in 0..W {
+            bits |= u32::from(a[i] > b[i]) << i;
+        }
+        LaneMask::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn cmpge(self, a: Self::V, b: Self::V) -> Self::M {
+        let mut bits = 0u32;
+        for i in 0..W {
+            bits |= u32::from(a[i] >= b[i]) << i;
+        }
+        LaneMask::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn blend(self, m: Self::M, on_true: Self::V, on_false: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = if m.get(i) { on_true[i] } else { on_false[i] };
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn permute(self, v: Self::V, idx: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = v[idx[i] as usize % W];
+        }
+        r
+    }
+
+    #[inline(always)]
+    #[allow(clippy::needless_range_loop)]
+    fn selective_store(self, dst: &mut [u32], m: Self::M, v: Self::V) -> usize {
+        let count = m.count();
+        assert!(dst.len() >= count, "selective_store: dst too short");
+        let mut j = 0;
+        for i in 0..W {
+            if m.get(i) {
+                dst[j] = v[i];
+                j += 1;
+            }
+        }
+        count
+    }
+
+    #[inline(always)]
+    #[allow(clippy::needless_range_loop)]
+    fn selective_load(self, v: Self::V, m: Self::M, src: &[u32]) -> Self::V {
+        let count = m.count();
+        assert!(src.len() >= count, "selective_load: src too short");
+        let mut r = v;
+        let mut j = 0;
+        for (i, lane) in r.iter_mut().enumerate() {
+            if m.get(i) {
+                *lane = src[j];
+                j += 1;
+            }
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn gather(self, src: &[u32], idx: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = src[idx[i] as usize];
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn gather_masked(self, prev: Self::V, m: Self::M, src: &[u32], idx: Self::V) -> Self::V {
+        let mut r = prev;
+        for i in 0..W {
+            if m.get(i) {
+                r[i] = src[idx[i] as usize];
+            }
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn scatter(self, dst: &mut [u32], idx: Self::V, v: Self::V) {
+        for i in 0..W {
+            dst[idx[i] as usize] = v[i];
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_masked(self, dst: &mut [u32], m: Self::M, idx: Self::V, v: Self::V) {
+        for i in 0..W {
+            if m.get(i) {
+                dst[idx[i] as usize] = v[i];
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn gather_pairs(self, src: &[u64], idx: Self::V) -> (Self::V, Self::V) {
+        let mut keys = [0u32; W];
+        let mut vals = [0u32; W];
+        for i in 0..W {
+            let pair = src[idx[i] as usize];
+            keys[i] = pair as u32;
+            vals[i] = (pair >> 32) as u32;
+        }
+        (keys, vals)
+    }
+
+    #[inline(always)]
+    fn gather_pairs_masked(
+        self,
+        prev: (Self::V, Self::V),
+        m: Self::M,
+        src: &[u64],
+        idx: Self::V,
+    ) -> (Self::V, Self::V) {
+        let (mut keys, mut vals) = prev;
+        for i in 0..W {
+            if m.get(i) {
+                let pair = src[idx[i] as usize];
+                keys[i] = pair as u32;
+                vals[i] = (pair >> 32) as u32;
+            }
+        }
+        (keys, vals)
+    }
+
+    #[inline(always)]
+    fn scatter_pairs(self, dst: &mut [u64], idx: Self::V, keys: Self::V, vals: Self::V) {
+        for i in 0..W {
+            dst[idx[i] as usize] = u64::from(keys[i]) | (u64::from(vals[i]) << 32);
+        }
+    }
+
+    #[inline(always)]
+    fn scatter_pairs_masked(
+        self,
+        dst: &mut [u64],
+        m: Self::M,
+        idx: Self::V,
+        keys: Self::V,
+        vals: Self::V,
+    ) {
+        for i in 0..W {
+            if m.get(i) {
+                dst[idx[i] as usize] = u64::from(keys[i]) | (u64::from(vals[i]) << 32);
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn load_pairs(self, src: &[u64]) -> (Self::V, Self::V) {
+        assert!(src.len() >= W, "load_pairs: src too short");
+        let mut keys = [0u32; W];
+        let mut vals = [0u32; W];
+        for i in 0..W {
+            keys[i] = src[i] as u32;
+            vals[i] = (src[i] >> 32) as u32;
+        }
+        (keys, vals)
+    }
+
+    #[inline(always)]
+    fn gather_bytes(self, src: &[u8], idx: Self::V) -> Self::V {
+        assert!(
+            src.len().is_multiple_of(4),
+            "gather_bytes: src length must be a multiple of 4"
+        );
+        let mut r = [0u32; W];
+        for i in 0..W {
+            r[i] = u32::from(src[idx[i] as usize]);
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn scatter_bytes(self, dst: &mut [u8], idx: Self::V, v: Self::V) {
+        assert!(
+            dst.len().is_multiple_of(4),
+            "scatter_bytes: dst length must be a multiple of 4"
+        );
+        #[cfg(debug_assertions)]
+        for i in 0..W {
+            for j in 0..i {
+                debug_assert!(
+                    idx[i] >> 2 != idx[j] >> 2 || idx[i] == idx[j],
+                    "scatter_bytes: lanes {j} and {i} alias the same 32-bit word"
+                );
+            }
+        }
+        for i in 0..W {
+            dst[idx[i] as usize] = v[i] as u8;
+        }
+    }
+
+    #[inline(always)]
+    fn conflict(self, v: Self::V) -> Self::V {
+        let mut r = [0u32; W];
+        for i in 1..W {
+            let mut bits = 0u32;
+            for j in 0..i {
+                bits |= u32::from(v[j] == v[i]) << j;
+            }
+            r[i] = bits;
+        }
+        r
+    }
+
+    #[inline(always)]
+    fn reduce_add_u64(self, v: Self::V) -> u64 {
+        v.iter().map(|&x| u64::from(x)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type P8 = Portable<8>;
+
+    fn s() -> P8 {
+        Portable::<8>::new()
+    }
+
+    #[test]
+    fn splat_iota_load_store() {
+        let s = s();
+        assert_eq!(s.splat(7), [7; 8]);
+        assert_eq!(s.iota(), [0, 1, 2, 3, 4, 5, 6, 7]);
+        let src = [9, 8, 7, 6, 5, 4, 3, 2, 1];
+        let v = s.load(&src);
+        assert_eq!(v, [9, 8, 7, 6, 5, 4, 3, 2]);
+        let mut out = [0u32; 8];
+        s.store(v, &mut out);
+        assert_eq!(out, [9, 8, 7, 6, 5, 4, 3, 2]);
+        assert_eq!(s.extract(v, 3), 6);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let s = s();
+        let a = s.splat(u32::MAX);
+        let b = s.splat(2);
+        assert_eq!(s.add(a, b), [1; 8]);
+        assert_eq!(s.sub(s.splat(0), b), [u32::MAX - 1; 8]);
+        assert_eq!(s.mullo(s.splat(0x1_0001), s.splat(0x1_0001)), [0x2_0001; 8]);
+    }
+
+    #[test]
+    fn mulhi_matches_u64() {
+        let s = s();
+        let a = s.splat(0xDEAD_BEEF);
+        let b = s.splat(0x1234_5678);
+        let expected = ((0xDEAD_BEEFu64 * 0x1234_5678u64) >> 32) as u32;
+        assert_eq!(s.mulhi(a, b), [expected; 8]);
+    }
+
+    #[test]
+    fn shifts() {
+        let s = s();
+        let v = s.splat(0x8000_0001);
+        assert_eq!(s.shl(v, 1), [2; 8]);
+        assert_eq!(s.shr(v, 31), [1; 8]);
+        let counts = s.iota();
+        assert_eq!(s.shlv(s.splat(1), counts), [1, 2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(s.shrv(s.splat(128), counts), [128, 64, 32, 16, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn comparisons_are_unsigned() {
+        let s = s();
+        let a = s.splat(0xFFFF_FFFF); // would be -1 signed
+        let b = s.splat(1);
+        assert!(s.cmpgt(a, b).all_set());
+        assert!(s.cmplt(a, b).is_empty());
+        assert!(s.cmpge(a, a).all_set());
+        assert!(s.cmple(b, a).all_set());
+        assert!(s.cmpeq(a, a).all_set());
+        assert!(s.cmpne(a, b).all_set());
+    }
+
+    #[test]
+    fn blend_and_permute() {
+        let s = s();
+        let t = s.splat(1);
+        let f = s.splat(0);
+        let m = LaneMask::<8>::from_bits(0b1010_0110);
+        assert_eq!(s.blend(m, t, f), [0, 1, 1, 0, 0, 1, 0, 1]);
+        let v = s.iota();
+        let idx = s.load(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(s.permute(v, idx), [7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(s.reverse(v), [7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn selective_store_and_load() {
+        let s = s();
+        let v = s.load(&[10, 11, 12, 13, 14, 15, 16, 17]);
+        let m = LaneMask::<8>::from_bits(0b0110_0101);
+        let mut out = [0u32; 8];
+        let n = s.selective_store(&mut out, m, v);
+        assert_eq!(n, 4);
+        assert_eq!(&out[..4], &[10, 12, 15, 16]);
+
+        let base = s.splat(99);
+        let loaded = s.selective_load(base, m, &[1, 2, 3, 4]);
+        assert_eq!(loaded, [1, 99, 2, 99, 99, 3, 4, 99]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_and_rightmost_wins() {
+        let s = s();
+        let data: Vec<u32> = (0..32).map(|x| x * 3).collect();
+        let idx = s.load(&[31, 0, 5, 5, 17, 2, 9, 20]);
+        let g = s.gather(&data, idx);
+        assert_eq!(g, [93, 0, 15, 15, 51, 6, 27, 60]);
+
+        let mut dst = vec![0u32; 8];
+        let idx = s.load(&[3, 3, 3, 1, 0, 0, 7, 7]);
+        let v = s.load(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        s.scatter(&mut dst, idx, v);
+        // rightmost lane wins for each duplicate index
+        assert_eq!(dst, vec![6, 4, 0, 3, 0, 0, 0, 8]);
+    }
+
+    #[test]
+    fn masked_gather_scatter() {
+        let s = s();
+        let data = [5u32, 6, 7, 8];
+        let prev = s.splat(42);
+        let m = LaneMask::<8>::from_bits(0b0000_1001);
+        // inactive lanes may hold out-of-bounds indexes without panicking
+        let idx = s.load(&[1, 9999, 9999, 2, 9999, 9999, 9999, 9999]);
+        let g = s.gather_masked(prev, m, &data, idx);
+        assert_eq!(g, [6, 42, 42, 7, 42, 42, 42, 42]);
+
+        let mut dst = vec![0u32; 4];
+        s.scatter_masked(&mut dst, m, idx, s.splat(9));
+        assert_eq!(dst, vec![0, 9, 9, 0]);
+    }
+
+    #[test]
+    fn pair_gather_scatter() {
+        let s = s();
+        let mut table = vec![0u64; 16];
+        let idx = s.load(&[0, 2, 4, 6, 8, 10, 12, 14]);
+        let keys = s.load(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let vals = s.load(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        s.scatter_pairs(&mut table, idx, keys, vals);
+        assert_eq!(table[2], 2 | (20 << 32));
+        let (k, v) = s.gather_pairs(&table, idx);
+        assert_eq!(k, [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(v, [10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn byte_gather_scatter() {
+        let s = s();
+        let mut bytes = vec![0u8; 64];
+        // one byte per aligned word -> no aliasing
+        let idx = s.load(&[0, 4, 8, 12, 16, 20, 24, 28]);
+        let v = s.load(&[1, 2, 3, 4, 5, 250, 255, 300]);
+        s.scatter_bytes(&mut bytes, idx, v);
+        assert_eq!(bytes[20], 250);
+        assert_eq!(bytes[28], 44); // 300 truncated
+        let g = s.gather_bytes(&bytes, idx);
+        assert_eq!(g, [1, 2, 3, 4, 5, 250, 255, 44]);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let s = s();
+        let v = s.load(&[3, 1, 3, 3, 1, 7, 7, 3]);
+        let c = s.conflict(v);
+        assert_eq!(c[0], 0);
+        assert_eq!(c[2], 0b0000_0001); // lane 0 has 3
+        assert_eq!(c[3], 0b0000_0101); // lanes 0 and 2
+        assert_eq!(c[4], 0b0000_0010); // lane 1 has 1
+        assert_eq!(c[6], 0b0010_0000); // lane 5 has 7
+        assert_eq!(c[7], 0b0000_1101); // lanes 0, 2, 3
+    }
+
+    #[test]
+    fn reductions() {
+        let s = s();
+        assert_eq!(s.reduce_add_u64(s.splat(u32::MAX)), 8 * u64::from(u32::MAX));
+        let v = s.load(&[0xFFFF_FFFF, 0, 1, 3, 0xF0F0_F0F0, 7, 0x8000_0000, 255]);
+        assert_eq!(s.popcount_lanes(v), [32, 0, 1, 2, 16, 3, 1, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selective_store")]
+    fn selective_store_bounds() {
+        let s = s();
+        let mut out = [0u32; 2];
+        s.selective_store(&mut out, LaneMask::<8>::all(), s.splat(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_out_of_bounds_panics() {
+        let s = s();
+        let data = [1u32, 2];
+        let _ = s.gather(&data, s.splat(5));
+    }
+}

@@ -1,0 +1,427 @@
+//! The backend-generic SIMD operation set.
+
+use core::fmt::Debug;
+
+use crate::mask::LaneMask;
+
+/// Mask operations required of a backend's mask type.
+///
+/// Every backend uses [`LaneMask<W>`](LaneMask) with its own `W`; this trait
+/// exists so kernels generic over [`Simd`] can manipulate masks without
+/// naming the width.
+pub trait MaskLike: Copy + Eq + Debug + Send + Sync + 'static {
+    /// Number of lanes covered by the mask.
+    const LANES: usize;
+    /// No lanes active.
+    fn none() -> Self;
+    /// All lanes active.
+    fn all() -> Self;
+    /// From raw bits (bit `i` = lane `i`); out-of-range bits discarded.
+    fn from_bits(bits: u32) -> Self;
+    /// First `n` lanes active.
+    fn first_n(n: usize) -> Self;
+    /// Raw bits.
+    fn bits(self) -> u32;
+    /// Number of active lanes.
+    fn count(self) -> usize;
+    /// At least one lane active.
+    fn any(self) -> bool;
+    /// No lanes active.
+    fn is_empty(self) -> bool;
+    /// Every lane active.
+    fn all_set(self) -> bool;
+    /// Whether lane `i` is active.
+    fn get(self, lane: usize) -> bool;
+    /// Copy with lane `i` set to `value`.
+    fn with(self, lane: usize, value: bool) -> Self;
+    /// Lowest active lane.
+    fn first_set(self) -> Option<usize>;
+    /// Lane-wise AND.
+    fn and(self, other: Self) -> Self;
+    /// Lane-wise OR.
+    fn or(self, other: Self) -> Self;
+    /// Lane-wise XOR.
+    fn xor(self, other: Self) -> Self;
+    /// Lane-wise NOT.
+    fn not(self) -> Self;
+    /// `!self & other`.
+    fn andnot(self, other: Self) -> Self;
+    /// Iterate over the indexes of active lanes, lowest first.
+    fn iter_set(self) -> SetLanes {
+        SetLanes(self.bits())
+    }
+}
+
+/// Iterator over the set lanes of a mask, lowest first.
+#[derive(Debug, Clone)]
+pub struct SetLanes(u32);
+
+impl Iterator for SetLanes {
+    type Item = usize;
+    #[inline(always)]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let lane = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(lane)
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SetLanes {}
+
+impl<const W: usize> MaskLike for LaneMask<W> {
+    const LANES: usize = W;
+    #[inline(always)]
+    fn none() -> Self {
+        LaneMask::none()
+    }
+    #[inline(always)]
+    fn all() -> Self {
+        LaneMask::all()
+    }
+    #[inline(always)]
+    fn from_bits(bits: u32) -> Self {
+        LaneMask::from_bits(bits)
+    }
+    #[inline(always)]
+    fn first_n(n: usize) -> Self {
+        LaneMask::first_n(n)
+    }
+    #[inline(always)]
+    fn bits(self) -> u32 {
+        LaneMask::bits(self)
+    }
+    #[inline(always)]
+    fn count(self) -> usize {
+        LaneMask::count(self)
+    }
+    #[inline(always)]
+    fn any(self) -> bool {
+        LaneMask::any(self)
+    }
+    #[inline(always)]
+    fn is_empty(self) -> bool {
+        LaneMask::is_empty(self)
+    }
+    #[inline(always)]
+    fn all_set(self) -> bool {
+        LaneMask::all_set(self)
+    }
+    #[inline(always)]
+    fn get(self, lane: usize) -> bool {
+        LaneMask::get(self, lane)
+    }
+    #[inline(always)]
+    fn with(self, lane: usize, value: bool) -> Self {
+        LaneMask::with(self, lane, value)
+    }
+    #[inline(always)]
+    fn first_set(self) -> Option<usize> {
+        LaneMask::first_set(self)
+    }
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        LaneMask::and(self, other)
+    }
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        LaneMask::or(self, other)
+    }
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        LaneMask::xor(self, other)
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        LaneMask::not(self)
+    }
+    #[inline(always)]
+    fn andnot(self, other: Self) -> Self {
+        LaneMask::andnot(self, other)
+    }
+}
+
+/// A SIMD backend operating on vectors of `LANES` 32-bit lanes.
+///
+/// Implementors are zero-sized *capability tokens*: constructing one proves
+/// (at runtime) that the instruction-set extensions its operations need are
+/// available, so the operations themselves are safe to call.
+///
+/// # Semantics shared by every backend
+///
+/// * Scatters resolve duplicate indexes with **rightmost-lane-wins** (the
+///   paper's Figure 4 semantics, matching Intel hardware scatters).
+/// * Selective loads/stores move the *active* lanes, in ascending lane
+///   order, to/from a contiguous memory region (Figures 1 and 2).
+/// * All memory operations are bounds-checked and panic on out-of-range
+///   indexes (checked over the active lanes only, for masked variants).
+/// * Comparisons are unsigned.
+pub trait Simd: Copy + Send + Sync + 'static {
+    /// Number of 32-bit lanes per vector.
+    const LANES: usize;
+    /// Vector register type (`LANES` × `u32`).
+    type V: Copy + Debug + Send + Sync;
+    /// Mask type (always `LaneMask<{Self::LANES}>`).
+    type M: MaskLike;
+
+    /// Human-readable backend name (e.g. `"avx512"`).
+    fn name(self) -> &'static str;
+
+    /// Run `f` inside a stack frame compiled with this backend's target
+    /// features enabled, so that the monomorphized kernel and all the
+    /// intrinsics it uses can be inlined together.
+    ///
+    /// Wrap every hot kernel invocation in this.
+    fn vectorize<R>(self, f: impl FnOnce() -> R) -> R;
+
+    // ------------------------------------------------------------------
+    // Construction and lane access
+    // ------------------------------------------------------------------
+
+    /// Broadcast `x` to every lane.
+    fn splat(self, x: u32) -> Self::V;
+
+    /// All-zero vector.
+    #[inline(always)]
+    fn zero(self) -> Self::V {
+        self.splat(0)
+    }
+
+    /// The vector `[0, 1, 2, ..., LANES-1]`.
+    fn iota(self) -> Self::V;
+
+    /// Load `LANES` consecutive values from `src[0..LANES]`.
+    ///
+    /// # Panics
+    /// If `src.len() < LANES`.
+    fn load(self, src: &[u32]) -> Self::V;
+
+    /// Store all lanes to `dst[0..LANES]`.
+    ///
+    /// # Panics
+    /// If `dst.len() < LANES`.
+    fn store(self, v: Self::V, dst: &mut [u32]);
+
+    /// Store all lanes with a non-temporal (streaming) hint when the
+    /// backend supports it and `dst` is 64-byte aligned; otherwise a plain
+    /// store. Used when materializing output that will not be re-read soon
+    /// (paper Section 4).
+    #[inline(always)]
+    fn store_stream(self, v: Self::V, dst: &mut [u32]) {
+        self.store(v, dst);
+    }
+
+    /// Read one lane.
+    ///
+    /// # Panics
+    /// If `lane >= LANES`.
+    fn extract(self, v: Self::V, lane: usize) -> u32;
+
+    // ------------------------------------------------------------------
+    // Arithmetic and bitwise logic (lane-wise, wrapping)
+    // ------------------------------------------------------------------
+
+    /// Lane-wise wrapping addition.
+    fn add(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise wrapping subtraction.
+    fn sub(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise wrapping multiplication, low 32 bits (`×↓` in the paper).
+    fn mullo(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise unsigned multiplication, high 32 bits (`×↑` in the paper;
+    /// the core of multiplicative hashing).
+    fn mulhi(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise AND.
+    fn and(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise OR.
+    fn or(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise XOR.
+    fn xor(self, a: Self::V, b: Self::V) -> Self::V;
+    /// `!a & b`, lane-wise.
+    fn andnot(self, a: Self::V, b: Self::V) -> Self::V;
+    /// Shift every lane left by `count` bits (`count < 32`).
+    fn shl(self, v: Self::V, count: u32) -> Self::V;
+    /// Logical right shift of every lane by `count` bits (`count < 32`).
+    fn shr(self, v: Self::V, count: u32) -> Self::V;
+    /// Shift lane `i` left by `counts[i]` bits (each `< 32`).
+    fn shlv(self, v: Self::V, counts: Self::V) -> Self::V;
+    /// Logical right shift of lane `i` by `counts[i]` bits (each `< 32`).
+    fn shrv(self, v: Self::V, counts: Self::V) -> Self::V;
+
+    // ------------------------------------------------------------------
+    // Comparisons (unsigned) and selection
+    // ------------------------------------------------------------------
+
+    /// `a == b` per lane.
+    fn cmpeq(self, a: Self::V, b: Self::V) -> Self::M;
+    /// `a != b` per lane.
+    fn cmpne(self, a: Self::V, b: Self::V) -> Self::M;
+    /// `a < b` per lane (unsigned).
+    fn cmplt(self, a: Self::V, b: Self::V) -> Self::M;
+    /// `a <= b` per lane (unsigned).
+    fn cmple(self, a: Self::V, b: Self::V) -> Self::M;
+    /// `a > b` per lane (unsigned).
+    fn cmpgt(self, a: Self::V, b: Self::V) -> Self::M;
+    /// `a >= b` per lane (unsigned).
+    fn cmpge(self, a: Self::V, b: Self::V) -> Self::M;
+
+    /// Lane-wise select: `m ? on_true : on_false` (the paper's
+    /// `m ? x : y` vector blend).
+    fn blend(self, m: Self::M, on_true: Self::V, on_false: Self::V) -> Self::V;
+
+    /// Permute lanes: result lane `i` = `v[idx[i] % LANES]`.
+    fn permute(self, v: Self::V, idx: Self::V) -> Self::V;
+
+    /// Reverse lane order.
+    #[inline(always)]
+    fn reverse(self, v: Self::V) -> Self::V {
+        let rev = self.sub(self.splat(Self::LANES as u32 - 1), self.iota());
+        self.permute(v, rev)
+    }
+
+    // ------------------------------------------------------------------
+    // Fundamental operations (paper Section 3)
+    // ------------------------------------------------------------------
+
+    /// **Selective store** (Figure 1): write the active lanes of `v`, in
+    /// ascending lane order, to `dst[0..m.count()]`. Returns the number of
+    /// values written.
+    ///
+    /// # Panics
+    /// If `dst.len() < m.count()`.
+    fn selective_store(self, dst: &mut [u32], m: Self::M, v: Self::V) -> usize;
+
+    /// **Selective load** (Figure 2): read `m.count()` values from
+    /// `src[0..m.count()]` into the active lanes of `v` in ascending lane
+    /// order; inactive lanes keep their previous contents.
+    ///
+    /// # Panics
+    /// If `src.len() < m.count()`.
+    fn selective_load(self, v: Self::V, m: Self::M, src: &[u32]) -> Self::V;
+
+    /// **Gather** (Figure 3): lane `i` = `src[idx[i]]`.
+    ///
+    /// # Panics
+    /// If any index is out of bounds.
+    fn gather(self, src: &[u32], idx: Self::V) -> Self::V;
+
+    /// Selective gather: active lanes gather `src[idx[i]]`; inactive lanes
+    /// keep the contents of `prev`.
+    ///
+    /// # Panics
+    /// If any *active* index is out of bounds.
+    fn gather_masked(self, prev: Self::V, m: Self::M, src: &[u32], idx: Self::V) -> Self::V;
+
+    /// **Scatter** (Figure 4): `dst[idx[i]] = v[i]` for every lane, in
+    /// ascending lane order (rightmost lane wins on duplicate indexes).
+    ///
+    /// # Panics
+    /// If any index is out of bounds.
+    fn scatter(self, dst: &mut [u32], idx: Self::V, v: Self::V);
+
+    /// Selective scatter over the active lanes only.
+    ///
+    /// # Panics
+    /// If any *active* index is out of bounds.
+    fn scatter_masked(self, dst: &mut [u32], m: Self::M, idx: Self::V, v: Self::V);
+
+    /// Gather interleaved key/payload pairs: lane `i` reads `src[idx[i]]`
+    /// and splits it into `(low 32 bits, high 32 bits)`.
+    ///
+    /// This is the paper's "fewer wider gathers" optimization (Section 5.1,
+    /// Appendix E) for hash tables stored in interleaved layout.
+    ///
+    /// # Panics
+    /// If any index is out of bounds.
+    fn gather_pairs(self, src: &[u64], idx: Self::V) -> (Self::V, Self::V);
+
+    /// Masked variant of [`gather_pairs`](Simd::gather_pairs); inactive
+    /// lanes keep `prev.0` / `prev.1`.
+    fn gather_pairs_masked(
+        self,
+        prev: (Self::V, Self::V),
+        m: Self::M,
+        src: &[u64],
+        idx: Self::V,
+    ) -> (Self::V, Self::V);
+
+    /// Scatter interleaved pairs: `dst[idx[i]] = keys[i] | (vals[i] << 32)`
+    /// in ascending lane order.
+    ///
+    /// # Panics
+    /// If any index is out of bounds.
+    fn scatter_pairs(self, dst: &mut [u64], idx: Self::V, keys: Self::V, vals: Self::V);
+
+    /// Masked variant of [`scatter_pairs`](Simd::scatter_pairs).
+    fn scatter_pairs_masked(
+        self,
+        dst: &mut [u64],
+        m: Self::M,
+        idx: Self::V,
+        keys: Self::V,
+        vals: Self::V,
+    );
+
+    /// Load `LANES` consecutive interleaved pairs from `src[0..LANES]` and
+    /// split them into `(low 32 bits, high 32 bits)` vectors — the
+    /// deinterleaving counterpart of a plain vector load, used when
+    /// flushing pair-staging buffers.
+    ///
+    /// # Panics
+    /// If `src.len() < LANES`.
+    fn load_pairs(self, src: &[u64]) -> (Self::V, Self::V);
+
+    /// Gather bytes, zero-extended: lane `i` = `src[idx[i]] as u32`.
+    ///
+    /// Used for compressed 8-bit histogram counts (paper Section 7.1).
+    ///
+    /// # Panics
+    /// If any index is out of bounds or `src.len()` is not a multiple of 4
+    /// (backends emulating byte gathers read whole 32-bit words).
+    fn gather_bytes(self, src: &[u8], idx: Self::V) -> Self::V;
+
+    /// Scatter the low byte of each lane: `dst[idx[i]] = v[i] as u8`.
+    ///
+    /// Backends without hardware byte scatters emulate this with a
+    /// read-modify-write of 32-bit words, so **two active lanes must not
+    /// target the same aligned 4-byte word** (checked with `debug_assert`).
+    /// Callers lay out per-lane byte regions to guarantee this.
+    ///
+    /// # Panics
+    /// If any index is out of bounds or `dst.len()` is not a multiple of 4.
+    fn scatter_bytes(self, dst: &mut [u8], idx: Self::V, v: Self::V);
+
+    // ------------------------------------------------------------------
+    // Conflict detection
+    // ------------------------------------------------------------------
+
+    /// For each lane `i`, a bitmask of the lanes `j < i` holding the same
+    /// value (`vpconflictd` semantics). Lane 0 is always 0.
+    fn conflict(self, v: Self::V) -> Self::V;
+
+    // ------------------------------------------------------------------
+    // Reductions and helpers
+    // ------------------------------------------------------------------
+
+    /// Sum of all lanes, widened to `u64` (no wrapping).
+    fn reduce_add_u64(self, v: Self::V) -> u64;
+
+    /// Per-lane population count (SWAR; backends may override with native
+    /// instructions).
+    #[inline(always)]
+    fn popcount_lanes(self, v: Self::V) -> Self::V {
+        let m1 = self.splat(0x5555_5555);
+        let m2 = self.splat(0x3333_3333);
+        let m4 = self.splat(0x0f0f_0f0f);
+        let v = self.sub(v, self.and(self.shr(v, 1), m1));
+        let v = self.add(self.and(v, m2), self.and(self.shr(v, 2), m2));
+        let v = self.and(self.add(v, self.shr(v, 4)), m4);
+        self.shr(self.mullo(v, self.splat(0x0101_0101)), 24)
+    }
+}

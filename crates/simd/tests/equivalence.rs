@@ -1,0 +1,256 @@
+//! Property tests: every accelerated backend must be observationally
+//! equivalent to the portable reference backend of the same width, for
+//! every operation in the `Simd` trait.
+
+use proptest::prelude::*;
+use rsv_simd::{MaskLike, Portable, Simd};
+
+/// Fingerprint of running every trait operation on fixed inputs.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    arith: Vec<Vec<u32>>,
+    cmps: Vec<u32>,
+    blend: Vec<u32>,
+    permute: Vec<u32>,
+    reverse: Vec<u32>,
+    popcount: Vec<u32>,
+    conflict: Vec<u32>,
+    reduce: u64,
+    sel_store: (usize, Vec<u32>),
+    sel_load: Vec<u32>,
+    gather: Vec<u32>,
+    gather_masked: Vec<u32>,
+    scatter: Vec<u32>,
+    scatter_masked: Vec<u32>,
+    pairs_gathered: (Vec<u32>, Vec<u32>),
+    pairs_gathered_masked: (Vec<u32>, Vec<u32>),
+    pairs_scattered: Vec<u64>,
+    pairs_scattered_masked: Vec<u64>,
+    bytes_gathered: Vec<u32>,
+    bytes_scattered: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Inputs {
+    a: Vec<u32>,
+    b: Vec<u32>,
+    mask_bits: u32,
+    mask_bits2: u32,
+    data32: Vec<u32>,
+    data64: Vec<u64>,
+    bytes: Vec<u8>,
+    shift: u32,
+}
+
+fn to_vec<S: Simd>(s: S, v: S::V) -> Vec<u32> {
+    let mut out = vec![0u32; S::LANES];
+    s.store(v, &mut out);
+    out
+}
+
+fn fingerprint<S: Simd>(s: S, input: &Inputs) -> Fingerprint {
+    s.vectorize(|| fingerprint_impl(s, input))
+}
+
+#[inline(always)]
+fn fingerprint_impl<S: Simd>(s: S, input: &Inputs) -> Fingerprint {
+    let w = S::LANES;
+    let a = s.load(&input.a);
+    let b = s.load(&input.b);
+    let m = S::M::from_bits(input.mask_bits);
+    let m2 = S::M::from_bits(input.mask_bits2);
+
+    let arith = vec![
+        to_vec(s, s.add(a, b)),
+        to_vec(s, s.sub(a, b)),
+        to_vec(s, s.mullo(a, b)),
+        to_vec(s, s.mulhi(a, b)),
+        to_vec(s, s.and(a, b)),
+        to_vec(s, s.or(a, b)),
+        to_vec(s, s.xor(a, b)),
+        to_vec(s, s.andnot(a, b)),
+        to_vec(s, s.shl(a, input.shift)),
+        to_vec(s, s.shr(a, input.shift)),
+        to_vec(s, s.shlv(a, s.and(b, s.splat(31)))),
+        to_vec(s, s.shrv(a, s.and(b, s.splat(31)))),
+        to_vec(s, s.iota()),
+        to_vec(s, s.splat(input.shift)),
+    ];
+
+    let cmps = vec![
+        s.cmpeq(a, b).bits(),
+        s.cmpne(a, b).bits(),
+        s.cmplt(a, b).bits(),
+        s.cmple(a, b).bits(),
+        s.cmpgt(a, b).bits(),
+        s.cmpge(a, b).bits(),
+    ];
+
+    let blend = to_vec(s, s.blend(m, a, b));
+    let idxmod = s.and(b, s.splat(w as u32 - 1));
+    let permute = to_vec(s, s.permute(a, idxmod));
+    let reverse = to_vec(s, s.reverse(a));
+    let popcount = to_vec(s, s.popcount_lanes(a));
+    let conflict = to_vec(s, s.conflict(s.and(a, s.splat(3))));
+    let reduce = s.reduce_add_u64(a);
+
+    let mut sel_out = vec![0xDEAD_BEEFu32; w];
+    let n = s.selective_store(&mut sel_out, m, a);
+    let sel_store = (n, sel_out);
+    let sel_load = to_vec(s, s.selective_load(a, m, &input.data32));
+
+    // In-bounds index vector for the gather/scatter targets.
+    let g_idx = s.and(a, s.splat(input.data32.len() as u32 - 1));
+    let gather = to_vec(s, s.gather(&input.data32, g_idx));
+    let gather_masked = to_vec(s, s.gather_masked(b, m, &input.data32, g_idx));
+
+    let mut scat = input.data32.clone();
+    s.scatter(&mut scat, g_idx, b);
+    let mut scat_m = input.data32.clone();
+    s.scatter_masked(&mut scat_m, m2, g_idx, b);
+
+    let p_idx = s.and(b, s.splat(input.data64.len() as u32 - 1));
+    let (gk, gv) = s.gather_pairs(&input.data64, p_idx);
+    let pairs_gathered = (to_vec(s, gk), to_vec(s, gv));
+    let (gmk, gmv) = s.gather_pairs_masked((a, b), m, &input.data64, p_idx);
+    let pairs_gathered_masked = (to_vec(s, gmk), to_vec(s, gmv));
+
+    let mut pscat = input.data64.clone();
+    s.scatter_pairs(&mut pscat, p_idx, a, b);
+    let mut pscat_m = input.data64.clone();
+    s.scatter_pairs_masked(&mut pscat_m, m2, p_idx, a, b);
+
+    let by_idx = s.and(a, s.splat(input.bytes.len() as u32 - 1));
+    let bytes_gathered = to_vec(s, s.gather_bytes(&input.bytes, by_idx));
+    // Aliasing-free byte scatter: each lane owns its own 32-bit word.
+    let lane_word = s.add(s.shl(s.iota(), 2), s.and(a, s.splat(3)));
+    let mut bscat = input.bytes.clone();
+    s.scatter_bytes(&mut bscat, lane_word, b);
+
+    Fingerprint {
+        arith,
+        cmps,
+        blend,
+        permute,
+        reverse,
+        popcount,
+        conflict,
+        reduce,
+        sel_store,
+        sel_load,
+        gather,
+        gather_masked,
+        scatter: scat,
+        scatter_masked: scat_m,
+        pairs_gathered,
+        pairs_gathered_masked,
+        pairs_scattered: pscat,
+        pairs_scattered_masked: pscat_m,
+        bytes_gathered,
+        bytes_scattered: bscat,
+    }
+}
+
+fn inputs_strategy(w: usize) -> impl Strategy<Value = Inputs> {
+    (
+        proptest::collection::vec(any::<u32>(), w),
+        proptest::collection::vec(any::<u32>(), w),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u32>(), 64),
+        proptest::collection::vec(any::<u64>(), 32),
+        proptest::collection::vec(any::<u8>(), 64),
+        0u32..32,
+    )
+        .prop_map(
+            |(a, b, mask_bits, mask_bits2, data32, data64, bytes, shift)| Inputs {
+                a,
+                b,
+                mask_bits,
+                mask_bits2,
+                data32,
+                data64,
+                bytes,
+                shift,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_matches_portable(input in inputs_strategy(16)) {
+        if let Some(s) = rsv_simd::Avx512::new() {
+            let accel = fingerprint(s, &input);
+            let reference = fingerprint(Portable::<16>::new(), &input);
+            prop_assert_eq!(accel, reference);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_matches_portable(input in inputs_strategy(8)) {
+        if let Some(s) = rsv_simd::Avx2::new() {
+            let accel = fingerprint(s, &input);
+            let reference = fingerprint(Portable::<8>::new(), &input);
+            prop_assert_eq!(accel, reference);
+        }
+    }
+
+    /// The portable backend at width 8 must behave like the portable backend
+    /// at width 16 restricted to its first 8 lanes for lane-wise operations.
+    #[test]
+    fn portable_widths_consistent(a in proptest::collection::vec(any::<u32>(), 16),
+                                  b in proptest::collection::vec(any::<u32>(), 16)) {
+        let s8 = Portable::<8>::new();
+        let s16 = Portable::<16>::new();
+        let r8 = to_vec(s8, s8.add(s8.load(&a), s8.load(&b)));
+        let r16 = to_vec(s16, s16.add(s16.load(&a), s16.load(&b)));
+        prop_assert_eq!(&r8[..8], &r16[..8]);
+        let h8 = to_vec(s8, s8.mulhi(s8.load(&a), s8.load(&b)));
+        let h16 = to_vec(s16, s16.mulhi(s16.load(&a), s16.load(&b)));
+        prop_assert_eq!(&h8[..8], &h16[..8]);
+    }
+}
+
+/// Selective store followed by selective load round-trips the active lanes.
+#[test]
+fn selective_roundtrip_all_masks() {
+    fn check<S: Simd>(s: S) {
+        let w = S::LANES;
+        let vals: Vec<u32> = (100..100 + w as u32).collect();
+        for bits in 0..(1u32 << w) {
+            let m = S::M::from_bits(bits);
+            let v = s.load(&vals);
+            let mut buf = vec![0u32; w];
+            let n = s.selective_store(&mut buf, m, v);
+            assert_eq!(n, m.count());
+            let reloaded = s.selective_load(s.splat(0), m, &buf);
+            let out = {
+                let mut o = vec![0u32; w];
+                s.store(reloaded, &mut o);
+                o
+            };
+            for lane in 0..w {
+                if m.get(lane) {
+                    assert_eq!(out[lane], vals[lane], "bits={bits:#x} lane={lane}");
+                } else {
+                    assert_eq!(out[lane], 0, "bits={bits:#x} lane={lane}");
+                }
+            }
+        }
+    }
+    check(Portable::<8>::new());
+    check(Portable::<16>::new());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if let Some(s) = rsv_simd::Avx2::new() {
+            check(s);
+        }
+        if let Some(s) = rsv_simd::Avx512::new() {
+            check(s);
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! LSB radixsort (paper Section 8).
+//!
+//! "Large-scale sorting is synonymous to partitioning": least-significant-
+//! bit radixsort is a sequence of *stable* partitioning passes over the
+//! radix of each key, and the paper's fastest method for 32-bit keys. Each
+//! pass runs histogram generation and buffered shuffling — shared-nothing
+//! across threads, interleaving the partition outputs through a global
+//! prefix sum over all threads' histograms.
+//!
+//! * [`lsb_radixsort_scalar`] / [`lsb_radixsort_vector`] — key + one
+//!   payload column (the Figure 14 workload), any thread count,
+//! * [`lsb_radixsort_keys_scalar`] / [`lsb_radixsort_keys_vector`] —
+//!   key-only sorting,
+//! * [`multicol::lsb_radixsort_multicol`] — key + arbitrary payload
+//!   columns of mixed widths via destination replay (Figure 18).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod multicol;
+
+use rsv_exec::{chunk_ranges, parallel_scope, AlignedVec, SharedBuffer};
+use rsv_partition::histogram::{histogram_scalar, histogram_vector_replicated};
+use rsv_partition::shuffle::{
+    scalar_slots, shuffle_buffer_cleanup, shuffle_scalar_buffered_core,
+    shuffle_vector_buffered_core,
+};
+use rsv_partition::{PartitionFn, RadixFn};
+use rsv_simd::Simd;
+
+/// Radixsort tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SortConfig {
+    /// Radix bits per pass (the paper's optimal fanout is 5–8 bits).
+    pub radix_bits: u32,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        SortConfig {
+            radix_bits: 8,
+            threads: 1,
+        }
+    }
+}
+
+impl SortConfig {
+    fn passes(&self) -> u32 {
+        assert!(
+            self.radix_bits >= 1 && self.radix_bits <= 16,
+            "radix bits must be in 1..=16"
+        );
+        assert!(self.threads >= 1, "need at least one thread");
+        32u32.div_ceil(self.radix_bits)
+    }
+
+    fn pass_fn(&self, pass: u32) -> RadixFn {
+        let shift = pass * self.radix_bits;
+        RadixFn::new(shift, self.radix_bits.min(32 - shift))
+    }
+}
+
+/// Per-thread partition start offsets from the interleaved prefix sum of
+/// all threads' histograms: partitions are laid out contiguously, and
+/// within a partition, thread regions follow thread order (which is what
+/// keeps the parallel sort stable).
+fn interleaved_offsets(hists: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let t = hists.len();
+    let p = hists[0].len();
+    let mut offsets = vec![vec![0u32; p]; t];
+    let mut acc = 0u32;
+    for part in 0..p {
+        for (tid, hist) in hists.iter().enumerate() {
+            offsets[tid][part] = acc;
+            acc += hist[part];
+        }
+    }
+    offsets
+}
+
+/// One parallel, stable partitioning pass of key/payload pairs.
+#[allow(clippy::too_many_arguments)]
+fn pass_pairs<S: Simd>(
+    s: S,
+    vectorized: bool,
+    f: RadixFn,
+    src_k: &[u32],
+    src_p: &[u32],
+    dst_k: &mut Vec<u32>,
+    dst_p: &mut Vec<u32>,
+    threads: usize,
+) {
+    let n = src_k.len();
+    let ranges = chunk_ranges(n, threads, S::LANES);
+    let hists: Vec<Vec<u32>> = parallel_scope(threads, |ctx| {
+        let r = ranges[ctx.thread_id].clone();
+        if vectorized {
+            histogram_vector_replicated(s, f, &src_k[r])
+        } else {
+            histogram_scalar(f, &src_k[r])
+        }
+    });
+    let bases = interleaved_offsets(&hists);
+
+    let out_k = SharedBuffer::from_vec(std::mem::take(dst_k));
+    let out_p = SharedBuffer::from_vec(std::mem::take(dst_p));
+    parallel_scope(threads, |ctx| {
+        let t = ctx.thread_id;
+        let r = ranges[t].clone();
+        // SAFETY: threads write disjoint output regions derived from the
+        // interleaved prefix sums; the transiently clobbered head lines are
+        // repaired by their owners' cleanup, which runs after the barrier.
+        let (ok, op) = unsafe { (out_k.view_mut(), out_p.view_mut()) };
+        let mut off = bases[t].clone();
+        if vectorized {
+            let mut buf: AlignedVec<u64> = AlignedVec::zeroed(f.fanout() * S::LANES);
+            shuffle_vector_buffered_core(
+                s,
+                f,
+                &src_k[r.clone()],
+                &src_p[r],
+                &mut off,
+                &mut buf,
+                ok,
+                op,
+                true,
+            );
+            ctx.barrier();
+            shuffle_buffer_cleanup(S::LANES, &buf, &bases[t], &off, ok, op);
+        } else {
+            let mut buf: AlignedVec<u64> = AlignedVec::zeroed(f.fanout() * scalar_slots());
+            shuffle_scalar_buffered_core(
+                f,
+                &src_k[r.clone()],
+                &src_p[r],
+                &mut off,
+                &mut buf,
+                ok,
+                op,
+            );
+            ctx.barrier();
+            shuffle_buffer_cleanup(scalar_slots(), &buf, &bases[t], &off, ok, op);
+        }
+    });
+    *dst_k = out_k.into_vec();
+    *dst_p = out_p.into_vec();
+}
+
+fn radixsort_pairs<S: Simd>(
+    s: S,
+    vectorized: bool,
+    keys: &mut Vec<u32>,
+    pays: &mut Vec<u32>,
+    cfg: &SortConfig,
+) {
+    assert_eq!(keys.len(), pays.len(), "column length mismatch");
+    let n = keys.len();
+    let mut src_k = std::mem::take(keys);
+    let mut src_p = std::mem::take(pays);
+    let mut dst_k = vec![0u32; n];
+    let mut dst_p = vec![0u32; n];
+    for pass in 0..cfg.passes() {
+        let f = cfg.pass_fn(pass);
+        pass_pairs(
+            s,
+            vectorized,
+            f,
+            &src_k,
+            &src_p,
+            &mut dst_k,
+            &mut dst_p,
+            cfg.threads,
+        );
+        std::mem::swap(&mut src_k, &mut dst_k);
+        std::mem::swap(&mut src_p, &mut dst_p);
+    }
+    *keys = src_k;
+    *pays = src_p;
+}
+
+/// Scalar parallel LSB radixsort of `(key, payload)` pairs (stable).
+pub fn lsb_radixsort_scalar(keys: &mut Vec<u32>, pays: &mut Vec<u32>, cfg: &SortConfig) {
+    radixsort_pairs(rsv_simd::Portable::<16>::new(), false, keys, pays, cfg);
+}
+
+/// Vectorized parallel LSB radixsort of `(key, payload)` pairs (stable).
+pub fn lsb_radixsort_vector<S: Simd>(
+    s: S,
+    keys: &mut Vec<u32>,
+    pays: &mut Vec<u32>,
+    cfg: &SortConfig,
+) {
+    radixsort_pairs(s, true, keys, pays, cfg);
+}
+
+/// One parallel stable partitioning pass of a key column only.
+fn pass_keys<S: Simd>(
+    s: S,
+    vectorized: bool,
+    f: RadixFn,
+    src_k: &[u32],
+    dst_k: &mut Vec<u32>,
+    threads: usize,
+) {
+    let n = src_k.len();
+    let ranges = chunk_ranges(n, threads, S::LANES);
+    let hists: Vec<Vec<u32>> = parallel_scope(threads, |ctx| {
+        let r = ranges[ctx.thread_id].clone();
+        if vectorized {
+            histogram_vector_replicated(s, f, &src_k[r])
+        } else {
+            histogram_scalar(f, &src_k[r])
+        }
+    });
+    let bases = interleaved_offsets(&hists);
+
+    let out_k = SharedBuffer::from_vec(std::mem::take(dst_k));
+    parallel_scope(threads, |ctx| {
+        let t = ctx.thread_id;
+        let r = ranges[t].clone();
+        // SAFETY: as in `pass_pairs`: disjoint regions + barrier-ordered
+        // cleanup repair.
+        let ok = unsafe { out_k.view_mut() };
+        let mut off = bases[t].clone();
+        let slots = if vectorized { S::LANES } else { scalar_slots() };
+        let mut buf = vec![0u32; f.fanout() * slots];
+        keys_buffered_core(s, vectorized, f, &src_k[r], &mut off, &mut buf, ok);
+        ctx.barrier();
+        keys_buffer_cleanup(slots, &buf, &bases[t], &off, ok);
+    });
+    *dst_k = out_k.into_vec();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn keys_buffered_core<S: Simd>(
+    s: S,
+    vectorized: bool,
+    f: RadixFn,
+    keys: &[u32],
+    off: &mut [u32],
+    buf: &mut [u32],
+    out: &mut [u32],
+) {
+    let w = S::LANES;
+    let slots = if vectorized { w } else { scalar_slots() };
+    assert_eq!(
+        buf.len(),
+        f.fanout() * slots,
+        "staging buffer size mismatch"
+    );
+    if vectorized {
+        s.vectorize(
+            #[inline(always)]
+            || {
+                use rsv_partition::conflict::serialize_conflicts_native;
+                use rsv_simd::MaskLike;
+                let one = s.splat(1);
+                let wv = s.splat(w as u32);
+                let wm1 = s.splat(w as u32 - 1);
+                let mut flush_parts = [0u32; 32];
+                let mut i = 0usize;
+                while i + w <= keys.len() {
+                    let k = s.load(&keys[i..]);
+                    let h = f.partition_vector(s, k);
+                    let c = serialize_conflicts_native(s, h);
+                    let o = s.gather(off, h);
+                    let pos = s.add(o, c);
+                    s.scatter(off, h, s.add(pos, one));
+                    let ob = s.add(s.and(o, wm1), c);
+                    let slot = s.add(s.mullo(h, wv), ob);
+                    let store_now = s.cmplt(ob, wv);
+                    s.scatter_masked(buf, store_now, slot, k);
+                    let trigger = s.cmpeq(ob, wm1);
+                    if trigger.any() {
+                        let nf = s.selective_store(&mut flush_parts[..], trigger, h);
+                        for &p in &flush_parts[..nf] {
+                            let p = p as usize;
+                            let target = (off[p] as usize & !(w - 1)) - w;
+                            let line = s.load(&buf[p * w..]);
+                            s.store_stream(line, &mut out[target..]);
+                        }
+                        let late = s.cmpge(ob, wv);
+                        let slot2 = s.add(s.mullo(h, wv), s.sub(ob, wv));
+                        s.scatter_masked(buf, late, slot2, k);
+                    }
+                    i += w;
+                }
+                for &kk in &keys[i..] {
+                    keys_scalar_step(f, kk, off, buf, out, w);
+                }
+            },
+        );
+    } else {
+        for &kk in keys {
+            keys_scalar_step(f, kk, off, buf, out, slots);
+        }
+    }
+}
+
+#[inline(always)]
+fn keys_scalar_step(
+    f: RadixFn,
+    k: u32,
+    off: &mut [u32],
+    buf: &mut [u32],
+    out: &mut [u32],
+    slots: usize,
+) {
+    let p = f.partition(k);
+    let o = off[p] as usize;
+    let slot = o & (slots - 1);
+    buf[p * slots + slot] = k;
+    off[p] = (o + 1) as u32;
+    if slot == slots - 1 {
+        let target = o + 1 - slots;
+        out[target..target + slots].copy_from_slice(&buf[p * slots..p * slots + slots]);
+    }
+}
+
+fn keys_buffer_cleanup(slots: usize, buf: &[u32], base: &[u32], off: &[u32], out: &mut [u32]) {
+    for p in 0..base.len() {
+        let start = (off[p] as usize & !(slots - 1)).max(base[p] as usize);
+        for q in start..off[p] as usize {
+            out[q] = buf[p * slots + (q & (slots - 1))];
+        }
+    }
+}
+
+fn radixsort_keys<S: Simd>(s: S, vectorized: bool, keys: &mut Vec<u32>, cfg: &SortConfig) {
+    let n = keys.len();
+    let mut src = std::mem::take(keys);
+    let mut dst = vec![0u32; n];
+    for pass in 0..cfg.passes() {
+        let f = cfg.pass_fn(pass);
+        pass_keys(s, vectorized, f, &src, &mut dst, cfg.threads);
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *keys = src;
+}
+
+/// Scalar parallel LSB radixsort of a key column.
+pub fn lsb_radixsort_keys_scalar(keys: &mut Vec<u32>, cfg: &SortConfig) {
+    radixsort_keys(rsv_simd::Portable::<16>::new(), false, keys, cfg);
+}
+
+/// Vectorized parallel LSB radixsort of a key column.
+pub fn lsb_radixsort_keys_vector<S: Simd>(s: S, keys: &mut Vec<u32>, cfg: &SortConfig) {
+    radixsort_keys(s, true, keys, cfg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsv_simd::Portable;
+
+    fn workload(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+        let mut rng = rsv_data::rng(seed);
+        let keys = rsv_data::uniform_u32(n, &mut rng);
+        let pays: Vec<u32> = (0..n as u32).collect();
+        (keys, pays)
+    }
+
+    fn check_sorted_pairs(keys: &[u32], pays: &[u32], orig_keys: &[u32]) {
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys not sorted");
+        // payload i must carry the original tuple (stability: equal keys
+        // keep original payload order)
+        for (i, (&k, &p)) in keys.iter().zip(pays).enumerate() {
+            assert_eq!(orig_keys[p as usize], k, "tuple broken at {i}");
+        }
+        for w in keys.windows(2).zip(pays.windows(2)) {
+            if w.0[0] == w.0[1] {
+                assert!(w.1[0] < w.1[1], "not stable");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_sort_matches_std() {
+        for n in [0usize, 1, 100, 10_000] {
+            let (keys, pays) = workload(n, 111);
+            let mut k = keys.clone();
+            let mut p = pays.clone();
+            lsb_radixsort_scalar(&mut k, &mut p, &SortConfig::default());
+            check_sorted_pairs(&k, &p, &keys);
+        }
+    }
+
+    #[test]
+    fn vector_sort_matches_std() {
+        let s = Portable::<16>::new();
+        for n in [0usize, 1, 17, 1000, 20_000] {
+            let (keys, pays) = workload(n, 112);
+            let mut k = keys.clone();
+            let mut p = pays.clone();
+            lsb_radixsort_vector(s, &mut k, &mut p, &SortConfig::default());
+            check_sorted_pairs(&k, &p, &keys);
+        }
+    }
+
+    #[test]
+    fn different_radix_bits() {
+        let s = Portable::<16>::new();
+        let (keys, pays) = workload(5000, 113);
+        for bits in [4u32, 5, 6, 8, 11, 16] {
+            let mut k = keys.clone();
+            let mut p = pays.clone();
+            lsb_radixsort_vector(
+                s,
+                &mut k,
+                &mut p,
+                &SortConfig {
+                    radix_bits: bits,
+                    threads: 1,
+                },
+            );
+            check_sorted_pairs(&k, &p, &keys);
+        }
+    }
+
+    #[test]
+    fn multithreaded_sort_is_stable() {
+        let s = Portable::<16>::new();
+        // narrow key domain -> many duplicates to stress stability
+        let mut rng = rsv_data::rng(114);
+        let keys: Vec<u32> = rsv_data::uniform_u32(30_000, &mut rng)
+            .iter()
+            .map(|k| k % 64)
+            .collect();
+        let pays: Vec<u32> = (0..30_000).collect();
+        for threads in [1usize, 2, 3, 4] {
+            let mut k = keys.clone();
+            let mut p = pays.clone();
+            lsb_radixsort_vector(
+                s,
+                &mut k,
+                &mut p,
+                &SortConfig {
+                    radix_bits: 8,
+                    threads,
+                },
+            );
+            check_sorted_pairs(&k, &p, &keys);
+            let mut ks = keys.clone();
+            let mut ps = pays.clone();
+            lsb_radixsort_scalar(
+                &mut ks,
+                &mut ps,
+                &SortConfig {
+                    radix_bits: 8,
+                    threads,
+                },
+            );
+            check_sorted_pairs(&ks, &ps, &keys);
+        }
+    }
+
+    #[test]
+    fn key_only_sort() {
+        let s = Portable::<16>::new();
+        for threads in [1usize, 3] {
+            for n in [0usize, 1, 31, 12_345] {
+                let (keys, _) = workload(n, 115);
+                let mut expected = keys.clone();
+                expected.sort_unstable();
+                let mut k = keys.clone();
+                lsb_radixsort_keys_vector(
+                    s,
+                    &mut k,
+                    &SortConfig {
+                        radix_bits: 8,
+                        threads,
+                    },
+                );
+                assert_eq!(k, expected, "vector n={n} threads={threads}");
+                let mut k = keys.clone();
+                lsb_radixsort_keys_scalar(
+                    &mut k,
+                    &SortConfig {
+                        radix_bits: 8,
+                        threads,
+                    },
+                );
+                assert_eq!(k, expected, "scalar n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn accelerated_backends_sort() {
+        let (keys, pays) = workload(50_000, 116);
+        if let Some(s) = rsv_simd::Avx512::new() {
+            let mut k = keys.clone();
+            let mut p = pays.clone();
+            lsb_radixsort_vector(
+                s,
+                &mut k,
+                &mut p,
+                &SortConfig {
+                    radix_bits: 8,
+                    threads: 2,
+                },
+            );
+            check_sorted_pairs(&k, &p, &keys);
+        }
+        if let Some(s) = rsv_simd::Avx2::new() {
+            let mut k = keys.clone();
+            let mut p = pays.clone();
+            lsb_radixsort_vector(
+                s,
+                &mut k,
+                &mut p,
+                &SortConfig {
+                    radix_bits: 8,
+                    threads: 2,
+                },
+            );
+            check_sorted_pairs(&k, &p, &keys);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Radixsort with arbitrary payload columns of mixed widths (paper §10.5.3,
+//! Figure 18): per pass, the key column is shuffled once while recording
+//! every tuple's destination, and each payload column replays the recorded
+//! permutation — "we generate the histogram once and shuffle one column at
+//! a time".
+
+use rsv_partition::histogram::histogram_scalar;
+use rsv_partition::multicol::{
+    apply_destinations_u16, apply_destinations_u32, apply_destinations_u64, apply_destinations_u8,
+    compute_destinations,
+};
+use rsv_simd::Simd;
+
+use crate::SortConfig;
+
+/// A payload column of one of the widths Figure 18 sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadColumn {
+    /// 8-bit values.
+    U8(Vec<u8>),
+    /// 16-bit values.
+    U16(Vec<u16>),
+    /// 32-bit values.
+    U32(Vec<u32>),
+    /// 64-bit values.
+    U64(Vec<u64>),
+}
+
+impl PayloadColumn {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadColumn::U8(v) => v.len(),
+            PayloadColumn::U16(v) => v.len(),
+            PayloadColumn::U32(v) => v.len(),
+            PayloadColumn::U64(v) => v.len(),
+        }
+    }
+
+    /// `true` when the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Width in bytes.
+    pub fn width(&self) -> usize {
+        match self {
+            PayloadColumn::U8(_) => 1,
+            PayloadColumn::U16(_) => 2,
+            PayloadColumn::U32(_) => 4,
+            PayloadColumn::U64(_) => 8,
+        }
+    }
+
+    fn replay<S: Simd>(&self, s: S, dest: &[u32]) -> PayloadColumn {
+        match self {
+            PayloadColumn::U8(v) => {
+                let mut out = vec![0u8; v.len()];
+                apply_destinations_u8(dest, v, &mut out);
+                PayloadColumn::U8(out)
+            }
+            PayloadColumn::U16(v) => {
+                let mut out = vec![0u16; v.len()];
+                apply_destinations_u16(dest, v, &mut out);
+                PayloadColumn::U16(out)
+            }
+            PayloadColumn::U32(v) => {
+                let mut out = vec![0u32; v.len()];
+                apply_destinations_u32(s, dest, v, &mut out);
+                PayloadColumn::U32(out)
+            }
+            PayloadColumn::U64(v) => {
+                let mut out = vec![0u64; v.len()];
+                apply_destinations_u64(s, dest, v, &mut out);
+                PayloadColumn::U64(out)
+            }
+        }
+    }
+}
+
+/// Stable LSB radixsort of a key column with any number of payload columns
+/// (single-threaded; the per-pass permutation is recorded once and every
+/// payload column replays it).
+pub fn lsb_radixsort_multicol<S: Simd>(
+    s: S,
+    keys: &mut Vec<u32>,
+    columns: &mut [PayloadColumn],
+    cfg: &SortConfig,
+) {
+    for c in columns.iter() {
+        assert_eq!(c.len(), keys.len(), "column length mismatch");
+    }
+    let n = keys.len();
+    let mut src = std::mem::take(keys);
+    let mut dst = vec![0u32; n];
+    let mut dest = vec![0u32; n];
+    for pass in 0..cfg.passes() {
+        let f = cfg.pass_fn(pass);
+        let hist = histogram_scalar(f, &src);
+        compute_destinations(s, f, &src, &hist, &mut dest, &mut dst);
+        std::mem::swap(&mut src, &mut dst);
+        for c in columns.iter_mut() {
+            *c = c.replay(s, &dest);
+        }
+    }
+    *keys = src;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsv_simd::Portable;
+
+    #[test]
+    fn multicol_sort_keeps_tuples_together() {
+        let s = Portable::<16>::new();
+        let mut rng = rsv_data::rng(121);
+        let keys = rsv_data::uniform_u32(5000, &mut rng);
+        let c8: Vec<u8> = (0..keys.len()).map(|i| i as u8).collect();
+        let c16: Vec<u16> = (0..keys.len()).map(|i| i as u16).collect();
+        let c32: Vec<u32> = (0..keys.len() as u32).collect();
+        let c64: Vec<u64> = (0..keys.len()).map(|i| (i as u64) << 20).collect();
+
+        let mut k = keys.clone();
+        let mut cols = vec![
+            PayloadColumn::U8(c8.clone()),
+            PayloadColumn::U16(c16.clone()),
+            PayloadColumn::U32(c32.clone()),
+            PayloadColumn::U64(c64.clone()),
+        ];
+        lsb_radixsort_multicol(s, &mut k, &mut cols, &SortConfig::default());
+
+        assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        let rid = match &cols[2] {
+            PayloadColumn::U32(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        for i in 0..k.len() {
+            let orig = rid[i] as usize;
+            assert_eq!(keys[orig], k[i]);
+            match (&cols[0], &cols[1], &cols[3]) {
+                (PayloadColumn::U8(a), PayloadColumn::U16(b), PayloadColumn::U64(d)) => {
+                    assert_eq!(a[i], c8[orig]);
+                    assert_eq!(b[i], c16[orig]);
+                    assert_eq!(d[i], c64[orig]);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn multicol_sort_no_payloads_is_plain_sort() {
+        let s = Portable::<16>::new();
+        let mut rng = rsv_data::rng(122);
+        let keys = rsv_data::uniform_u32(1000, &mut rng);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let mut k = keys;
+        lsb_radixsort_multicol(s, &mut k, &mut [], &SortConfig::default());
+        assert_eq!(k, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn mismatched_column_length_panics() {
+        let s = Portable::<16>::new();
+        let mut keys = vec![1u32, 2, 3];
+        let mut cols = vec![PayloadColumn::U8(vec![0u8; 2])];
+        lsb_radixsort_multicol(s, &mut keys, &mut cols, &SortConfig::default());
+    }
+}

@@ -1,0 +1,121 @@
+//! A realistic analytical micro-query over synthetic column-store data —
+//! the workload class the paper's introduction motivates ("blink-of-an-eye
+//! analytical query execution" over RAM-resident columns).
+//!
+//! Query (in SQL-ish form):
+//!
+//! ```sql
+//! SELECT   d.payload AS category, COUNT(*), SUM(f.payload)
+//! FROM     facts f JOIN dims d ON f.key = d.key
+//! WHERE    f.key BETWEEN :lo AND :hi
+//! GROUP BY d.payload
+//! ORDER BY category
+//! ```
+//!
+//! executed as: selection scan → Bloom semi-join → max-partition hash join
+//! → radixsort-based grouping, every operator vectorized.
+//!
+//! Run with: `cargo run --release --example analytics_query`
+
+use std::time::Instant;
+
+use rethinking_simd::{data, Engine, Relation};
+
+fn main() {
+    let engine = Engine::new().with_threads(2);
+    println!("backend: {}\n", engine.backend().name());
+
+    // Build a dimension table (1M distinct keys, payload = category 0..50)
+    // and a fact table (8M rows over a wider key domain: ~12% join hits).
+    let mut rng = data::rng(2015);
+    let n_dim = 1 << 20;
+    let n_fact = 8 << 20;
+    let key_pool = data::unique_u32(n_dim * 8, &mut rng);
+    let dim_keys = key_pool[..n_dim].to_vec();
+    let dims = Relation::new(
+        dim_keys.clone(),
+        (0..n_dim as u32).map(|i| i % 50).collect(),
+    );
+    let fact_keys: Vec<u32> = data::uniform_u32(n_fact, &mut rng)
+        .iter()
+        .map(|&r| key_pool[r as usize % key_pool.len()])
+        .collect();
+    let facts = Relation::new(fact_keys, data::uniform_u32(n_fact, &mut rng));
+    println!("facts: {} rows, dims: {} rows", facts.len(), dims.len());
+
+    let total = Instant::now();
+
+    // 1. Selection scan on the fact keys (≈50% selectivity).
+    let t = Instant::now();
+    let (lo, hi) = data::selection_bounds(0.5);
+    let selected = engine.select(&facts, lo, hi);
+    println!(
+        "scan:      {:>8} rows   ({:.1?})",
+        selected.len(),
+        t.elapsed()
+    );
+
+    // 2. Bloom semi-join: discard fact rows whose key cannot be in dims.
+    let t = Instant::now();
+    let candidates = engine.bloom_semijoin(&selected, &dims.keys);
+    println!(
+        "bloom:     {:>8} rows   ({:.1?}, {:.1}% pass)",
+        candidates.len(),
+        t.elapsed(),
+        100.0 * candidates.len() as f64 / selected.len() as f64
+    );
+
+    // 3. Max-partition hash join against the dimension table.
+    let t = Instant::now();
+    let joined = engine.hash_join(&dims, &candidates);
+    println!(
+        "join:      {:>8} rows   ({:.1?}; partition {:.1?}, build {:.1?}, probe {:.1?})",
+        joined.matches(),
+        t.elapsed(),
+        joined.timings.partition,
+        joined.timings.build,
+        joined.timings.probe
+    );
+
+    // 4. Group by category: radixsort the (category, value) pairs, then a
+    //    single ordered pass aggregates.
+    let t = Instant::now();
+    let mut by_category = Relation::new(
+        joined
+            .sinks
+            .iter()
+            .flat_map(|s| s.columns().1.iter().copied())
+            .collect(),
+        joined
+            .sinks
+            .iter()
+            .flat_map(|s| s.columns().2.iter().copied())
+            .collect(),
+    );
+    engine.sort(&mut by_category);
+    let mut groups: Vec<(u32, u64, u64)> = Vec::new(); // (category, count, sum)
+    for (cat, val) in by_category.iter() {
+        match groups.last_mut() {
+            Some(g) if g.0 == cat => {
+                g.1 += 1;
+                g.2 += u64::from(val);
+            }
+            _ => groups.push((cat, 1, u64::from(val))),
+        }
+    }
+    println!(
+        "group-by:  {:>8} groups ({:.1?})",
+        groups.len(),
+        t.elapsed()
+    );
+    println!("\ntotal: {:.1?}", total.elapsed());
+
+    // Show the top rows of the result.
+    println!("\ncategory  count      sum");
+    for (cat, count, sum) in groups.iter().take(5) {
+        println!("{cat:>8} {count:>6} {sum:>12}");
+    }
+    assert!(groups.len() <= 50);
+    let rows: u64 = groups.iter().map(|g| g.1).sum();
+    assert_eq!(rows as usize, joined.matches());
+}

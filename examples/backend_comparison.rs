@@ -1,0 +1,146 @@
+//! The paper's core claim, live on your machine: the *same* operator
+//! kernels, instantiated per SIMD backend, against their scalar baselines.
+//!
+//! Prints a small table of throughputs for selection scans, hash-table
+//! probing and radix partitioning on every backend this CPU supports.
+//!
+//! Run with: `cargo run --release --example backend_comparison`
+
+use std::time::Instant;
+
+use rethinking_simd::simd::{dispatch, Backend};
+use rethinking_simd::{data, hashtab, partition, scan};
+
+const N: usize = 4 << 20;
+
+fn mtps(n: usize, secs: f64) -> f64 {
+    n as f64 / secs / 1e6
+}
+
+/// Best of two runs (the first run also pays page faults on fresh output
+/// buffers, which would be misattributed to the kernel).
+fn best_of_2(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut rng = data::rng(7);
+    let keys = data::uniform_u32(N, &mut rng);
+    let pays: Vec<u32> = (0..N as u32).collect();
+
+    println!("{N} tuples per operator; throughput in million tuples/second\n");
+    println!(
+        "{:<26} {:>12} {:>12} {:>10}",
+        "operator", "backend", "Mtps", "vs scalar"
+    );
+
+    // --- selection scan, 10% selectivity --------------------------------
+    let (lo, hi) = data::selection_bounds(0.1);
+    let pred = scan::ScanPredicate {
+        lower: lo,
+        upper: hi,
+    };
+    let mut ok = vec![0u32; N];
+    let mut op = vec![0u32; N];
+    let scalar = mtps(
+        N,
+        best_of_2(|| {
+            scan::scan_scalar_branching(&keys, &pays, pred, &mut ok, &mut op);
+        }),
+    );
+    println!(
+        "{:<26} {:>12} {:>12.0} {:>10}",
+        "selection scan (10%)", "scalar", scalar, "1.0x"
+    );
+    for b in Backend::all_available() {
+        let secs = best_of_2(|| {
+            dispatch!(b, s => {
+                scan::scan_vector_selstore_indirect(s, &keys, &pays, pred, &mut ok, &mut op)
+            });
+        });
+        let v = mtps(N, secs);
+        println!(
+            "{:<26} {:>12} {:>12.0} {:>9.1}x",
+            "",
+            b.name(),
+            v,
+            v / scalar
+        );
+    }
+
+    // --- linear probing hash table probe --------------------------------
+    let n_build = N / 8;
+    let bkeys = data::unique_u32(n_build, &mut rng);
+    let bpays: Vec<u32> = (0..n_build as u32).collect();
+    let mut table = hashtab::LinearTable::new(n_build, 0.5);
+    table.build_scalar(&bkeys, &bpays);
+    let probe_keys: Vec<u32> = (0..N).map(|i| bkeys[(i * 7) % n_build]).collect();
+    let mut sink = hashtab::JoinSink::with_capacity(N + 16);
+    let scalar = mtps(
+        N,
+        best_of_2(|| {
+            sink = hashtab::JoinSink::with_capacity(N + 16);
+            table.probe_scalar(&probe_keys, &pays, &mut sink);
+        }),
+    );
+    println!(
+        "{:<26} {:>12} {:>12.0} {:>10}",
+        "hash probe (LP, L2-size)", "scalar", scalar, "1.0x"
+    );
+    for b in Backend::all_available() {
+        let secs = best_of_2(|| {
+            let mut sink = hashtab::JoinSink::with_capacity(N + 16);
+            dispatch!(b, s => { table.probe_vertical(s, &probe_keys, &pays, &mut sink) });
+        });
+        let v = mtps(N, secs);
+        println!(
+            "{:<26} {:>12} {:>12.0} {:>9.1}x",
+            "",
+            b.name(),
+            v,
+            v / scalar
+        );
+    }
+
+    // --- radix partitioning (histogram + buffered shuffle) --------------
+    let f = partition::RadixFn::new(0, 8);
+    let scalar = mtps(
+        N,
+        best_of_2(|| {
+            let hist = partition::histogram::histogram_scalar(f, &keys);
+            partition::shuffle::shuffle_scalar_buffered(f, &keys, &pays, &hist, &mut ok, &mut op);
+        }),
+    );
+    println!(
+        "{:<26} {:>12} {:>12.0} {:>10}",
+        "radix partition (2^8)", "scalar", scalar, "1.0x"
+    );
+    for b in Backend::all_available() {
+        let secs = best_of_2(|| {
+            dispatch!(b, s => {
+                let hist = partition::histogram::histogram_vector_replicated(s, f, &keys);
+                partition::shuffle::shuffle_vector_buffered(
+                    s, f, &keys, &pays, &hist, &mut ok, &mut op,
+                );
+            });
+        });
+        let v = mtps(N, secs);
+        println!(
+            "{:<26} {:>12} {:>12.0} {:>9.1}x",
+            "",
+            b.name(),
+            v,
+            v / scalar
+        );
+    }
+
+    println!("\n(The paper's headline: on wide-SIMD hardware the vertical kernels");
+    println!(" reach up to an order of magnitude over scalar; AVX2 gains less —");
+    println!(" no scatters — and the portable backend shows pure emulation cost.)");
+}

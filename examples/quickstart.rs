@@ -1,0 +1,56 @@
+//! Quickstart: the high-level `Engine` API.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rethinking_simd::{Engine, Relation};
+
+fn main() {
+    // The engine picks the best SIMD backend at runtime (AVX-512 on the
+    // paper's "Xeon Phi class" machines, AVX2 on "Haswell class", portable
+    // everywhere else).
+    let engine = Engine::new().with_threads(2);
+    println!("SIMD backend: {}", engine.backend().name());
+
+    // A tiny "orders" table: key = price, payload = order id.
+    let prices = vec![129, 15, 4_999, 88, 42, 1_250, 7, 310];
+    let orders = Relation::with_rid_payloads(prices);
+
+    // 1. Selection scan (paper §4): orders priced 10..=500.
+    let mid_range = engine.select(&orders, 10, 500);
+    println!(
+        "selection:   {} of {} orders in [10, 500]",
+        mid_range.len(),
+        orders.len()
+    );
+    assert_eq!(mid_range.keys, vec![129, 15, 88, 42, 310]);
+
+    // 2. Sort them by price (paper §8, LSB radixsort).
+    let mut sorted = mid_range.clone();
+    engine.sort(&mut sorted);
+    println!("sort:        {:?}", sorted.keys);
+    assert_eq!(sorted.keys, vec![15, 42, 88, 129, 310]);
+
+    // 3. Hash join (paper §9): match orders against a lookup table keyed
+    //    by the same prices, payload = discount class.
+    let discounts = Relation::new(vec![15, 88, 310, 9_999], vec![1, 2, 3, 4]);
+    let joined = engine.hash_join(&discounts, &sorted);
+    println!("join:        {} matches", joined.matches());
+    assert_eq!(joined.matches(), 3);
+
+    // 4. Bloom semi-join (paper §6): pre-filter before an expensive join.
+    let filtered = engine.bloom_semijoin(&orders, &discounts.keys);
+    println!(
+        "bloom:       {} candidates survive the semi-join filter",
+        filtered.len()
+    );
+    assert!(filtered.len() >= 3);
+
+    // 5. Hash partitioning (paper §7): split for cache-friendly processing.
+    let (_parts, starts) = engine.hash_partition(&orders, 4);
+    println!("partition:   starts at {starts:?}");
+
+    println!(
+        "\nAll operators ran vectorized on `{}`.",
+        engine.backend().name()
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the SIGMOD 2015 *Rethinking SIMD Vectorization for
+//! In-Memory Databases* reproduction.
+//!
+//! Everything lives in [`rsv_core`] (re-exported here as the crate root):
+//! the [`Engine`] convenience API plus direct access to every operator
+//! crate (`scan`, `hashtab`, `bloom`, `partition`, `sort`, `join`) and the
+//! SIMD substrate (`simd`).
+//!
+//! See `examples/quickstart.rs` for a tour and `crates/bench` for the
+//! binaries regenerating every figure of the paper.
+
+#![deny(missing_docs)]
+
+pub use rsv_core::*;

@@ -1,0 +1,93 @@
+//! Cross-crate integration: a full query pipeline (scan → bloom → join →
+//! sort) must produce exactly what a naive reference implementation does.
+
+use std::collections::HashMap;
+
+use rethinking_simd::{data, Engine, JoinVariant, Relation};
+
+fn reference_pipeline(facts: &Relation, dims: &Relation, lo: u32, hi: u32) -> Vec<(u32, u32, u32)> {
+    let dim_map: HashMap<u32, Vec<u32>> = {
+        let mut m: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (k, p) in dims.iter() {
+            m.entry(k).or_default().push(p);
+        }
+        m
+    };
+    let mut rows = Vec::new();
+    for (k, p) in facts.iter() {
+        if k >= lo && k <= hi {
+            if let Some(dps) = dim_map.get(&k) {
+                for &dp in dps {
+                    rows.push((k, dp, p));
+                }
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+fn build_workload(seed: u64) -> (Relation, Relation) {
+    let mut rng = data::rng(seed);
+    let pool = data::unique_u32(60_000, &mut rng);
+    let dims = Relation::with_rid_payloads(pool[..20_000].to_vec());
+    let fact_keys: Vec<u32> = (0..80_000)
+        .map(|i| pool[(i * 31 + seed as usize) % pool.len()])
+        .collect();
+    let facts = Relation::with_rid_payloads(fact_keys);
+    (facts, dims)
+}
+
+#[test]
+fn full_pipeline_matches_reference() {
+    let (facts, dims) = build_workload(401);
+    let (lo, hi) = data::selection_bounds(0.6);
+    let expected = reference_pipeline(&facts, &dims, lo, hi);
+
+    for threads in [1usize, 3] {
+        let engine = Engine::new().with_threads(threads);
+        let selected = engine.select(&facts, lo, hi);
+        let filtered = engine.bloom_semijoin(&selected, &dims.keys);
+        // the bloom filter may pass false positives — the join removes them
+        assert!(filtered.len() >= expected.len().min(selected.len()));
+        let joined = engine.hash_join(&dims, &filtered);
+
+        let mut rows: Vec<(u32, u32, u32)> = joined.sinks.iter().flat_map(|s| s.iter()).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, expected, "threads={threads}");
+    }
+}
+
+#[test]
+fn all_join_variants_produce_identical_results() {
+    let (facts, dims) = build_workload(402);
+    let engine = Engine::new().with_threads(2);
+    let baseline = engine.hash_join_variant(&dims, &facts, JoinVariant::NoPartition);
+    for v in [JoinVariant::MinPartition, JoinVariant::MaxPartition] {
+        let r = engine.hash_join_variant(&dims, &facts, v);
+        assert_eq!(r.matches(), baseline.matches(), "{v:?}");
+        assert_eq!(r.fingerprint(), baseline.fingerprint(), "{v:?}");
+    }
+}
+
+#[test]
+fn sort_after_join_groups_keys() {
+    let (facts, dims) = build_workload(403);
+    let engine = Engine::new();
+    let joined = engine.hash_join(&dims, &facts);
+    let mut rel = Relation::new(
+        joined
+            .sinks
+            .iter()
+            .flat_map(|s| s.columns().0.iter().copied())
+            .collect(),
+        joined
+            .sinks
+            .iter()
+            .flat_map(|s| s.columns().2.iter().copied())
+            .collect(),
+    );
+    engine.sort(&mut rel);
+    assert!(rel.keys.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(rel.len(), joined.matches());
+}
