@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks: one group per operator family, smaller
-//! sizes than the figure binaries so `cargo bench` completes quickly.
+//! Micro-benchmarks: one section per operator family, smaller sizes than
+//! the figure binaries so `cargo bench` completes quickly.
 //!
 //! These complement the figure binaries (which sweep the paper's full
-//! parameter ranges) with statistically robust spot measurements and the
-//! ablation comparisons DESIGN.md §6 lists.
+//! parameter ranges) with best-of-N spot measurements and the ablation
+//! comparisons DESIGN.md §6 lists. Plain `harness = false` timing — the
+//! offline build has no external benchmark framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsv_bench::{bench, mtps, Table};
 use rsv_hashtab::{CuckooTable, DoubleHashTable, JoinSink, LinearTable};
 use rsv_partition::conflict::{serialize_conflicts_native, serialize_conflicts_scatter};
 use rsv_partition::histogram::{
@@ -17,13 +18,14 @@ use rsv_scan::{scan, ScanPredicate, ScanVariant};
 use rsv_simd::{dispatch, Backend, Simd};
 
 const N: usize = 1 << 20;
+const REPS: usize = 5;
 
 fn workload() -> (Vec<u32>, Vec<u32>) {
     let mut rng = rsv_data::rng(2001);
     (rsv_data::uniform_u32(N, &mut rng), (0..N as u32).collect())
 }
 
-fn bench_scan(c: &mut Criterion) {
+fn bench_scan(t: &mut Table) {
     let (keys, pays) = workload();
     let mut ok = vec![0u32; N];
     let mut op = vec![0u32; N];
@@ -33,18 +35,19 @@ fn bench_scan(c: &mut Criterion) {
         upper: hi,
     };
     let backend = Backend::best();
-    let mut g = c.benchmark_group("selection_scan");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(N as u64));
     for variant in ScanVariant::ALL {
-        g.bench_function(variant.label(), |b| {
-            b.iter(|| scan(backend, variant, &keys, &pays, pred, &mut ok, &mut op))
+        let secs = bench(REPS, || {
+            scan(backend, variant, &keys, &pays, pred, &mut ok, &mut op);
         });
+        t.row(vec![
+            "selection_scan".into(),
+            variant.label().into(),
+            format!("{:.1}", mtps(N, secs)),
+        ]);
     }
-    g.finish();
 }
 
-fn bench_hash_probe(c: &mut Criterion) {
+fn bench_hash_probe(t: &mut Table) {
     let mut rng = rsv_data::rng(2002);
     let n_build = N / 8;
     let bkeys = rsv_data::unique_u32(n_build, &mut rng);
@@ -60,68 +63,33 @@ fn bench_hash_probe(c: &mut Criterion) {
     let mut ch = CuckooTable::new(n_build, 0.5);
     ch.build_scalar(&bkeys, &bpays).unwrap();
 
-    let mut g = c.benchmark_group("hash_probe");
-    g.sample_size(15);
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("lp_scalar", |b| {
-        b.iter(|| {
+    let mut run = |name: &str, f: &mut dyn FnMut(&mut JoinSink)| {
+        let secs = bench(REPS, || {
             let mut sink = JoinSink::with_capacity(N + 16);
-            lp.probe_scalar(&pkeys, &ppays, &mut sink);
-            sink.len()
-        })
+            f(&mut sink);
+        });
+        t.row(vec![
+            "hash_probe".into(),
+            name.into(),
+            format!("{:.1}", mtps(N, secs)),
+        ]);
+    };
+    run("lp_scalar", &mut |sink| {
+        lp.probe_scalar(&pkeys, &ppays, sink);
     });
-    g.bench_function("lp_vertical", |b| {
-        b.iter(|| {
-            let mut sink = JoinSink::with_capacity(N + 16);
-            dispatch!(backend, s => { lp.probe_vertical(s, &pkeys, &ppays, &mut sink) });
-            sink.len()
-        })
+    run("lp_vertical", &mut |sink| {
+        dispatch!(backend, s => { lp.probe_vertical(s, &pkeys, &ppays, sink) });
     });
-    g.bench_function("dh_vertical", |b| {
-        b.iter(|| {
-            let mut sink = JoinSink::with_capacity(N + 16);
-            dispatch!(backend, s => { dh.probe_vertical(s, &pkeys, &ppays, &mut sink) });
-            sink.len()
-        })
+    run("dh_vertical", &mut |sink| {
+        dispatch!(backend, s => { dh.probe_vertical(s, &pkeys, &ppays, sink) });
     });
     // ablation: cuckoo blend vs select
-    g.bench_function("cuckoo_blend", |b| {
-        b.iter(|| {
-            let mut sink = JoinSink::with_capacity(N + 16);
-            dispatch!(backend, s => { ch.probe_vertical_blend(s, &pkeys, &ppays, &mut sink) });
-            sink.len()
-        })
+    run("cuckoo_blend", &mut |sink| {
+        dispatch!(backend, s => { ch.probe_vertical_blend(s, &pkeys, &ppays, sink) });
     });
-    g.bench_function("cuckoo_select", |b| {
-        b.iter(|| {
-            let mut sink = JoinSink::with_capacity(N + 16);
-            dispatch!(backend, s => { ch.probe_vertical_select(s, &pkeys, &ppays, &mut sink) });
-            sink.len()
-        })
+    run("cuckoo_select", &mut |sink| {
+        dispatch!(backend, s => { ch.probe_vertical_select(s, &pkeys, &ppays, sink) });
     });
-    g.finish();
-}
-
-fn bench_conflict_serialization(c: &mut Criterion) {
-    // ablation: Algorithm 13 scatter/gather loop vs vpconflictd popcount
-    let backend = Backend::best();
-    let mut g = c.benchmark_group("conflict_serialization");
-    g.sample_size(30);
-    let lanes: Vec<u32> = (0..16).map(|i| i % 5).collect();
-    let mut scratch = vec![0u32; 16];
-    g.bench_function("native_conflict", |b| {
-        dispatch!(backend, s => {
-            let h = load_padded(s, &lanes);
-            b.iter(|| s.vectorize(|| serialize_conflicts_native(s, h)));
-        })
-    });
-    g.bench_function("scatter_gather_loop", |b| {
-        dispatch!(backend, s => {
-            let h = load_padded(s, &lanes);
-            b.iter(|| s.vectorize(|| serialize_conflicts_scatter(s, h, &mut scratch)));
-        })
-    });
-    g.finish();
 }
 
 fn load_padded<S: Simd>(s: S, lanes: &[u32]) -> S::V {
@@ -132,81 +100,137 @@ fn load_padded<S: Simd>(s: S, lanes: &[u32]) -> S::V {
     s.load(&buf)
 }
 
-fn bench_partition(c: &mut Criterion) {
+fn bench_conflict_serialization(t: &mut Table) {
+    // ablation: Algorithm 13 scatter/gather loop vs vpconflictd popcount
+    let backend = Backend::best();
+    let lanes: Vec<u32> = (0..16).map(|i| i % 5).collect();
+    let mut scratch = vec![0u32; 16];
+    const ITERS: usize = 1 << 16;
+    dispatch!(backend, s => {
+        let h = load_padded(s, &lanes);
+        let secs = bench(REPS, || {
+            s.vectorize(|| {
+                for _ in 0..ITERS {
+                    std::hint::black_box(serialize_conflicts_native(s, std::hint::black_box(h)));
+                }
+            });
+        });
+        t.row(vec![
+            "conflict_serialization".into(),
+            "native_conflict".into(),
+            format!("{:.1}", mtps(ITERS * S::LANES, secs)),
+        ]);
+        let secs = bench(REPS, || {
+            s.vectorize(|| {
+                for _ in 0..ITERS {
+                    std::hint::black_box(serialize_conflicts_scatter(
+                        s,
+                        std::hint::black_box(h),
+                        &mut scratch,
+                    ));
+                }
+            });
+        });
+        t.row(vec![
+            "conflict_serialization".into(),
+            "scatter_gather_loop".into(),
+            format!("{:.1}", mtps(ITERS * S::LANES, secs)),
+        ]);
+    });
+}
+
+fn bench_partition(t: &mut Table) {
     let (keys, pays) = workload();
     let mut ok = vec![0u32; N];
     let mut op = vec![0u32; N];
     let backend = Backend::best();
-    let mut g = c.benchmark_group("partition");
-    g.sample_size(15);
-    g.throughput(Throughput::Elements(N as u64));
     for bits in [5u32, 8, 11] {
         let f = RadixFn::new(0, bits);
-        g.bench_with_input(BenchmarkId::new("hist_scalar", bits), &bits, |b, _| {
-            b.iter(|| histogram_scalar(f, &keys))
-        });
-        g.bench_with_input(BenchmarkId::new("hist_replicated", bits), &bits, |b, _| {
-            b.iter(|| dispatch!(backend, s => { histogram_vector_replicated(s, f, &keys) }))
-        });
-        g.bench_with_input(BenchmarkId::new("hist_serialized", bits), &bits, |b, _| {
-            b.iter(|| dispatch!(backend, s => { histogram_vector_serialized(s, f, &keys) }))
-        });
-        let hist = histogram_scalar(f, &keys);
-        g.bench_with_input(
-            BenchmarkId::new("shuffle_scalar_buf", bits),
-            &bits,
-            |b, _| b.iter(|| shuffle_scalar_buffered(f, &keys, &pays, &hist, &mut ok, &mut op)),
+        let mut row = |name: &str, secs: f64| {
+            t.row(vec![
+                format!("partition/{bits}b"),
+                name.into(),
+                format!("{:.1}", mtps(N, secs)),
+            ]);
+        };
+        row(
+            "hist_scalar",
+            bench(REPS, || {
+                std::hint::black_box(histogram_scalar(f, &keys));
+            }),
         );
-        g.bench_with_input(
-            BenchmarkId::new("shuffle_vector_buf", bits),
-            &bits,
-            |b, _| {
-                b.iter(|| {
-                    dispatch!(backend, s => {
-                        shuffle_vector_buffered(s, f, &keys, &pays, &hist, &mut ok, &mut op)
-                    })
-                })
-            },
+        row(
+            "hist_replicated",
+            bench(REPS, || {
+                dispatch!(backend, s => {
+                    std::hint::black_box(histogram_vector_replicated(s, f, &keys))
+                });
+            }),
+        );
+        row(
+            "hist_serialized",
+            bench(REPS, || {
+                dispatch!(backend, s => {
+                    std::hint::black_box(histogram_vector_serialized(s, f, &keys))
+                });
+            }),
+        );
+        let hist = histogram_scalar(f, &keys);
+        row(
+            "shuffle_scalar_buf",
+            bench(REPS, || {
+                shuffle_scalar_buffered(f, &keys, &pays, &hist, &mut ok, &mut op);
+            }),
+        );
+        row(
+            "shuffle_vector_buf",
+            bench(REPS, || {
+                dispatch!(backend, s => {
+                    shuffle_vector_buffered(s, f, &keys, &pays, &hist, &mut ok, &mut op)
+                });
+            }),
         );
     }
-    g.finish();
 }
 
-fn bench_sort_and_join(c: &mut Criterion) {
+fn bench_sort_and_join(t: &mut Table) {
     let (keys, pays) = workload();
     let backend = Backend::best();
-    let mut g = c.benchmark_group("sort_join");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("radixsort_vector", |b| {
-        b.iter(|| {
-            let mut k = keys.clone();
-            let mut p = pays.clone();
-            dispatch!(backend, s => {
-                rsv_sort::lsb_radixsort_vector(s, &mut k, &mut p, &rsv_sort::SortConfig::default())
-            });
-            k
-        })
+    let secs = bench(REPS, || {
+        let mut k = keys.clone();
+        let mut p = pays.clone();
+        dispatch!(backend, s => {
+            rsv_sort::lsb_radixsort_vector(s, &mut k, &mut p, &rsv_sort::SortConfig::default())
+        });
+        std::hint::black_box(k);
     });
+    t.row(vec![
+        "sort_join".into(),
+        "radixsort_vector".into(),
+        format!("{:.1}", mtps(N, secs)),
+    ]);
     let mut rng = rsv_data::rng(2003);
     let w = rsv_data::join_workload(N / 8, N, 1.0, 1.0, &mut rng);
-    g.bench_function("join_max_partition_vector", |b| {
-        b.iter(|| {
-            let r = dispatch!(backend, s => {
-                rsv_join::join_max_partition(s, true, &w.inner, &w.outer, 1)
-            });
-            r.matches()
-        })
+    let secs = bench(REPS, || {
+        let r = dispatch!(backend, s => {
+            rsv_join::join_max_partition(s, true, &w.inner, &w.outer, 1)
+        });
+        std::hint::black_box(r.matches());
     });
-    g.finish();
+    t.row(vec![
+        "sort_join".into(),
+        "join_max_partition_vector".into(),
+        format!("{:.1}", mtps(N, secs)),
+    ]);
 }
 
-criterion_group!(
-    benches,
-    bench_scan,
-    bench_hash_probe,
-    bench_conflict_serialization,
-    bench_partition,
-    bench_sort_and_join
-);
-criterion_main!(benches);
+fn main() {
+    println!("operator micro-benchmarks (best of {REPS}, {N} tuples)\n");
+    let mut t = Table::new(&["group", "benchmark", "Mtps"]);
+    bench_scan(&mut t);
+    bench_hash_probe(&mut t);
+    bench_conflict_serialization(&mut t);
+    bench_partition(&mut t);
+    bench_sort_and_join(&mut t);
+    t.print();
+}

@@ -11,8 +11,10 @@
 //! Usage: `cargo run --release -p rsv-bench --bin ablation_skew [--scale X]`
 
 use rsv_bench::{banner, bench, mtps, record, Measurement, Scale, Table};
+use rsv_exec::{ExecPolicy, DEFAULT_MORSEL_TUPLES};
 use rsv_hashtab::{JoinSink, LinearTable};
 use rsv_partition::histogram::histogram_scalar;
+use rsv_partition::parallel::partition_pass_policy;
 use rsv_partition::shuffle::shuffle_vector_buffered;
 use rsv_partition::RadixFn;
 use rsv_simd::dispatch;
@@ -92,4 +94,77 @@ fn main() {
     }
     println!("throughput under skew (million tuples / second):\n");
     table.print();
+
+    // ----------------------------------------------------------------
+    // Scheduler ablation: the paper's static equal split (emulated as one
+    // morsel per worker) vs. 16K-tuple work-stealing morsels, on uniform
+    // and Zipf keys, for the full parallel partitioning pass. Under skew
+    // the morsel scheduler should be no slower at t >= 4, and at t = 1 its
+    // overhead should be within noise.
+    // ----------------------------------------------------------------
+    let cpus = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let threads_list: Vec<usize> = [1usize, 4]
+        .iter()
+        .copied()
+        .filter(|&t| t <= 2 * cpus.max(2))
+        .collect();
+    println!("\nscheduler ablation (parallel partition pass, fanout 2^8):\n");
+    let mut sched_table = Table::new(&["workload", "threads", "static Mtps", "morsel Mtps"]);
+    let mut reports: Vec<(String, String)> = Vec::new();
+    for (name, keys) in [("uniform", &uniform), ("zipf(1.0)", &zipf)] {
+        let f = RadixFn::new(0, 8);
+        for &threads in &threads_list {
+            let mut per_schedule = Vec::new();
+            for (sched, policy) in [
+                ("static", ExecPolicy::new(threads).static_split()),
+                (
+                    "morsel",
+                    ExecPolicy::new(threads).with_morsel_tuples(DEFAULT_MORSEL_TUPLES),
+                ),
+            ] {
+                let mut ok = vec![0u32; n];
+                let mut op = vec![0u32; n];
+                let mut stats = None;
+                let secs = bench(2, || {
+                    let (_, st) = dispatch!(backend, s => {
+                        partition_pass_policy(
+                            s, true, f, keys, &pays, &mut ok, &mut op, &policy,
+                        )
+                    });
+                    stats = Some(st);
+                });
+                let m = mtps(n, secs);
+                record(&Measurement {
+                    experiment: "ablation-sched",
+                    series: name,
+                    x: threads as f64,
+                    value: m,
+                    unit: match sched {
+                        "static" => "Mtps-static",
+                        _ => "Mtps-morsel",
+                    },
+                });
+                if sched == "morsel" {
+                    reports.push((
+                        format!("{name} t={threads} ({sched})"),
+                        stats.map(|s| s.to_string()).unwrap_or_default(),
+                    ));
+                }
+                per_schedule.push(m);
+            }
+            sched_table.row(vec![
+                name.to_string(),
+                threads.to_string(),
+                format!("{:.0}", per_schedule[0]),
+                format!("{:.0}", per_schedule[1]),
+            ]);
+        }
+    }
+    sched_table.print();
+    for (label, report) in reports {
+        println!("\nper-worker breakdown — {label}:");
+        print!("{report}");
+    }
 }

@@ -22,7 +22,7 @@ fn main() {
     let backend = rsv_bench::backend();
     let cfg = SortConfig {
         radix_bits: 8,
-        threads: 1,
+        ..SortConfig::default()
     };
     println!(
         "radix bits: {}, vector backend: {}\n",

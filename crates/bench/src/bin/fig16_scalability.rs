@@ -1,4 +1,5 @@
-//! Figure 16: thread scalability of radixsort and partitioned hash join.
+//! Figure 16: thread scalability of radixsort and partitioned hash join,
+//! now running on the morsel-driven work-stealing scheduler.
 //!
 //! **Host caveat**: the paper sweeps 1..244 hardware threads on a 61-core
 //! Xeon Phi; this reproduction machine may expose far fewer logical CPUs
@@ -6,12 +7,17 @@
 //! correctly but cannot exhibit hardware speedup. The numbers and the
 //! caveat are both recorded.
 //!
+//! Besides wall time, each thread count prints the per-worker scheduler
+//! breakdown (morsels claimed, morsels stolen, tuples, per-phase time) of
+//! the final vectorized sort and join runs.
+//!
 //! Usage: `cargo run --release -p rsv-bench --bin fig16_scalability [--scale X]`
 
 use rsv_bench::{banner, bench, record, Measurement, Scale, Table};
-use rsv_join::join_max_partition;
+use rsv_exec::ExecPolicy;
+use rsv_join::{join_max_partition, join_max_partition_policy, DEFAULT_PART_TUPLES};
 use rsv_simd::dispatch;
-use rsv_sort::{lsb_radixsort_scalar, lsb_radixsort_vector, SortConfig};
+use rsv_sort::{lsb_radixsort_scalar, lsb_radixsort_vector_stats, SortConfig};
 
 fn main() {
     banner(
@@ -47,20 +53,27 @@ fn main() {
         "join scalar (s)",
         "join vector (s)",
     ]);
+    let mut worker_reports: Vec<(usize, String, String)> = Vec::new();
     for threads in threads_list {
         let cfg = SortConfig {
             radix_bits: 8,
             threads,
+            ..SortConfig::default()
         };
+        let policy = ExecPolicy::new(threads);
         let ss = bench(2, || {
             let mut k = keys.clone();
             let mut p = pays.clone();
             lsb_radixsort_scalar(&mut k, &mut p, &cfg);
         });
+        let mut sort_stats = None;
         let sv = bench(2, || {
             let mut k = keys.clone();
             let mut p = pays.clone();
-            dispatch!(backend, s => { lsb_radixsort_vector(s, &mut k, &mut p, &cfg) });
+            let st = dispatch!(backend, s => {
+                lsb_radixsort_vector_stats(s, &mut k, &mut p, &cfg)
+            });
+            sort_stats = Some(st);
         });
         let js = bench(2, || {
             let r = dispatch!(backend, s => {
@@ -68,11 +81,15 @@ fn main() {
             });
             assert_eq!(r.matches(), w.expected_matches);
         });
+        let mut join_stats = None;
         let jv = bench(2, || {
-            let r = dispatch!(backend, s => {
-                join_max_partition(s, true, &w.inner, &w.outer, threads)
+            let (r, st) = dispatch!(backend, s => {
+                join_max_partition_policy(
+                    s, true, &w.inner, &w.outer, &policy, DEFAULT_PART_TUPLES,
+                )
             });
             assert_eq!(r.matches(), w.expected_matches);
+            join_stats = Some(st);
         });
         for (series, v) in [
             ("sort-scalar", ss),
@@ -95,7 +112,19 @@ fn main() {
             format!("{js:.3}"),
             format!("{jv:.3}"),
         ]);
+        worker_reports.push((
+            threads,
+            sort_stats.map(|s| s.to_string()).unwrap_or_default(),
+            join_stats.map(|s| s.to_string()).unwrap_or_default(),
+        ));
     }
     println!("wall time (seconds, lower is better):\n");
     table.print();
+
+    for (threads, sort_report, join_report) in worker_reports {
+        println!("\nscheduler breakdown at {threads} thread(s) — sort (vector):");
+        print!("{sort_report}");
+        println!("scheduler breakdown at {threads} thread(s) — join (vector):");
+        print!("{join_report}");
+    }
 }

@@ -42,7 +42,7 @@ fn main() {
     for b in Backend::all_available() {
         let cfg = SortConfig {
             radix_bits: 8,
-            threads: 1,
+            ..SortConfig::default()
         };
         let sort_s = bench(2, || {
             let mut k = keys.clone();

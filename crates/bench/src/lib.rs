@@ -16,8 +16,6 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use serde::Serialize;
-
 /// Problem-size multiplier for all experiments.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale(pub f64);
@@ -117,7 +115,7 @@ impl Table {
 }
 
 /// One recorded measurement.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Measurement<'a> {
     /// Experiment id, e.g. `"fig05"`.
     pub experiment: &'a str,
@@ -140,8 +138,48 @@ pub fn record(m: &Measurement<'_>) {
             .append(true)
             .open(path)
         {
-            let _ = writeln!(f, "{}", serde_json::to_string(m).unwrap());
+            let _ = writeln!(f, "{}", to_json(m));
         }
+    }
+}
+
+/// Serialize one measurement as a JSON object (the fields are all numbers
+/// or identifier-like strings, so escaping only needs the JSON basics).
+fn to_json(m: &Measurement<'_>) -> String {
+    format!(
+        "{{\"experiment\":{},\"series\":{},\"x\":{},\"value\":{},\"unit\":{}}}",
+        json_str(m.experiment),
+        json_str(m.series),
+        json_num(m.x),
+        json_num(m.value),
+        json_str(m.unit),
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN literal; null keeps the line parseable.
+        "null".to_string()
     }
 }
 
@@ -219,6 +257,23 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512 B");
         assert_eq!(fmt_bytes(4096), "4 KB");
         assert_eq!(fmt_bytes(64 << 20), "64 MB");
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let m = Measurement {
+            experiment: "fig05",
+            series: "vector \"q\"",
+            x: 0.5,
+            value: 123.25,
+            unit: "Mtps",
+        };
+        assert_eq!(
+            to_json(&m),
+            "{\"experiment\":\"fig05\",\"series\":\"vector \\\"q\\\"\",\
+             \"x\":0.5,\"value\":123.25,\"unit\":\"Mtps\"}"
+        );
+        assert_eq!(json_num(f64::NAN), "null");
     }
 
     #[test]

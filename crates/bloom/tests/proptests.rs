@@ -1,26 +1,24 @@
 //! Property tests: Bloom filter invariants on arbitrary inputs.
 
-use proptest::prelude::*;
 use rsv_bloom::BloomFilter;
 use rsv_simd::Backend;
+use rsv_testkit as tk;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The defining invariant: no false negatives, for any build set, any
+/// probe set, any k, on any backend — and vector output is exactly the
+/// scalar output as a multiset.
+#[test]
+fn no_false_negatives_and_backends_agree() {
+    tk::check("no_false_negatives_and_backends_agree", 64, 0xb100, |rng| {
+        let build = tk::vec_u32(rng, 0, 300);
+        let probe = tk::vec_u32(rng, 0, 300);
+        let k = 1 + rng.index(5);
+        let bits_per_item = 4 + rng.index(12);
 
-    /// The defining invariant: no false negatives, for any build set, any
-    /// probe set, any k, on any backend — and vector output is exactly the
-    /// scalar output as a multiset.
-    #[test]
-    fn no_false_negatives_and_backends_agree(
-        build in proptest::collection::vec(any::<u32>(), 0..300),
-        probe in proptest::collection::vec(any::<u32>(), 0..300),
-        k in 1usize..6,
-        bits_per_item in 4usize..16,
-    ) {
         let mut f = BloomFilter::new(build.len(), bits_per_item, k);
         f.build(&build);
         for &key in &build {
-            prop_assert!(f.contains(key), "false negative for {key:#x}");
+            assert!(f.contains(key), "false negative for {key:#x}");
         }
 
         let pays: Vec<u32> = (0..probe.len() as u32).collect();
@@ -34,8 +32,8 @@ proptest! {
                 let mut vk = vec![0u32; probe.len()];
                 let mut vp = vec![0u32; probe.len()];
                 let nv = f.probe_vector(s, &probe, &pays, &mut vk, &mut vp);
-                prop_assert_eq!(ns, nv, "count, backend {}", backend.name());
-                prop_assert_eq!(
+                assert_eq!(ns, nv, "count, backend {}", backend.name());
+                assert_eq!(
                     expected,
                     rsv_data::multiset_fingerprint(vk[..nv].iter().zip(&vp[..nv])),
                     "multiset, backend {}",
@@ -43,5 +41,5 @@ proptest! {
                 );
             });
         }
-    }
+    });
 }

@@ -35,15 +35,24 @@ pub use rsv_join::{JoinResult, JoinVariant};
 pub use rsv_simd::Backend;
 pub use rsv_sort::SortConfig;
 
+use rsv_exec::{
+    parallel_scope_stats, ExecPolicy, MorselQueue, SharedBuffer, DEFAULT_MORSEL_TUPLES,
+};
 use rsv_partition::PartitionFn;
-use rsv_scan::ScanPredicate;
+use rsv_scan::{ScanPredicate, ScanVariant};
 use rsv_simd::dispatch;
 
 /// A vectorized in-memory query engine over 32-bit key/payload columns.
+///
+/// Parallel operators run on the morsel-driven work-stealing scheduler
+/// ([`rsv_exec::MorselQueue`]); their output is byte-identical for every
+/// thread count and morsel size (joins up to result row order, which is
+/// inherently unstable under vectorized probing).
 #[derive(Debug, Clone, Copy)]
 pub struct Engine {
     backend: Backend,
     threads: usize,
+    morsel_tuples: usize,
 }
 
 impl Default for Engine {
@@ -58,6 +67,7 @@ impl Engine {
         Engine {
             backend: Backend::best(),
             threads: 1,
+            morsel_tuples: DEFAULT_MORSEL_TUPLES,
         }
     }
 
@@ -66,6 +76,7 @@ impl Engine {
         Engine {
             backend,
             threads: 1,
+            morsel_tuples: DEFAULT_MORSEL_TUPLES,
         }
     }
 
@@ -76,22 +87,40 @@ impl Engine {
         self
     }
 
+    /// Set the scheduling granularity in tuples per morsel
+    /// (`usize::MAX` = one morsel per worker, the paper's static split).
+    /// Never changes operator output.
+    pub fn with_morsel_tuples(mut self, morsel_tuples: usize) -> Self {
+        assert!(morsel_tuples >= 1);
+        self.morsel_tuples = morsel_tuples;
+        self
+    }
+
     /// The backend in use.
     pub fn backend(&self) -> Backend {
         self.backend
     }
 
+    fn policy(&self) -> ExecPolicy {
+        ExecPolicy::new(self.threads).with_morsel_tuples(self.morsel_tuples)
+    }
+
     /// Selection scan: all tuples with `lower ≤ key ≤ upper` (paper §4,
-    /// vectorized Algorithm 3).
+    /// vectorized Algorithm 3), morsel-parallel.
     pub fn select(&self, rel: &Relation, lower: u32, upper: u32) -> Relation {
         let pred = ScanPredicate { lower, upper };
         let mut out_keys = vec![0u32; rel.len()];
         let mut out_pays = vec![0u32; rel.len()];
-        let n = dispatch!(self.backend, s => {
-            rsv_scan::scan_vector_selstore_indirect(
-                s, &rel.keys, &rel.payloads, pred, &mut out_keys, &mut out_pays,
-            )
-        });
+        let (n, _) = rsv_scan::scan_parallel(
+            self.backend,
+            ScanVariant::VectorSelStoreIndirect,
+            &rel.keys,
+            &rel.payloads,
+            pred,
+            &mut out_keys,
+            &mut out_pays,
+            &self.policy(),
+        );
         out_keys.truncate(n);
         out_pays.truncate(n);
         Relation::new(out_keys, out_pays)
@@ -111,33 +140,82 @@ impl Engine {
         outer: &Relation,
         variant: JoinVariant,
     ) -> JoinResult {
+        let policy = self.policy();
         dispatch!(self.backend, s => {
             match variant {
                 JoinVariant::NoPartition => {
-                    rsv_join::join_no_partition(s, true, inner, outer, self.threads)
+                    rsv_join::join_no_partition_policy(s, true, inner, outer, &policy).0
                 }
                 JoinVariant::MinPartition => {
-                    rsv_join::join_min_partition(s, true, inner, outer, self.threads)
+                    rsv_join::join_min_partition_policy(s, true, inner, outer, &policy).0
                 }
                 JoinVariant::MaxPartition => {
-                    rsv_join::join_max_partition(s, true, inner, outer, self.threads)
+                    rsv_join::join_max_partition_policy(
+                        s, true, inner, outer, &policy, rsv_join::DEFAULT_PART_TUPLES,
+                    ).0
                 }
             }
         })
     }
 
     /// Bloom-filter semi-join (paper §6): keep the tuples of `rel` whose
-    /// key is (probably) present in `filter_keys`.
+    /// key is (probably) present in `filter_keys`. Probing is
+    /// morsel-parallel; qualifiers keep input order.
     pub fn bloom_semijoin(&self, rel: &Relation, filter_keys: &[u32]) -> Relation {
         let mut filter = BloomFilter::new(filter_keys.len(), 10, 5);
         filter.build(filter_keys);
-        let mut out_keys = vec![0u32; rel.len()];
-        let mut out_pays = vec![0u32; rel.len()];
-        let n = dispatch!(self.backend, s => {
-            filter.probe_vector(s, &rel.keys, &rel.payloads, &mut out_keys, &mut out_pays)
+        let n = rel.len();
+        let q = MorselQueue::new(n, &self.policy(), 16);
+        let m = q.morsel_count();
+        let positions: Vec<u32> = (0..n as u32).collect();
+        let counts = SharedBuffer::from_vec(vec![0usize; m]);
+        let ok_buf = SharedBuffer::from_vec(vec![0u32; n]);
+        let oi_buf = SharedBuffer::from_vec(vec![0u32; n]);
+        let filter_ref = &filter;
+        parallel_scope_stats(self.threads, |ctx| {
+            // SAFETY: each morsel writes only the output region at its own
+            // input offsets plus its own count slot; reads happen after
+            // the scope joins.
+            let (ok, oi, cs) = unsafe { (ok_buf.view_mut(), oi_buf.view_mut(), counts.view_mut()) };
+            for mo in ctx.morsels(&q) {
+                ctx.phase("bloom-probe", || {
+                    let r = mo.range.clone();
+                    // probe with the input *position* as the payload: the
+                    // vectorized probe recirculates partially-checked
+                    // lanes and so emits qualifiers out of input order —
+                    // the positions let us restore it below.
+                    cs[mo.id] = dispatch!(self.backend, s => {
+                        filter_ref.probe_vector(
+                            s,
+                            &rel.keys[r.clone()],
+                            &positions[r.clone()],
+                            &mut ok[r.clone()],
+                            &mut oi[r],
+                        )
+                    });
+                });
+            }
         });
-        out_keys.truncate(n);
-        out_pays.truncate(n);
+        // Compact the per-morsel qualifier runs in morsel order (runs only
+        // move left, so front-to-back copies never clobber a pending run).
+        let counts = counts.into_vec();
+        let mut idxs = oi_buf.into_vec();
+        drop(ok_buf);
+        let mut dest = 0usize;
+        for (id, &c) in counts.iter().enumerate() {
+            let src = q.range_of(id).start;
+            if src != dest {
+                idxs.copy_within(src..src + c, dest);
+            }
+            dest += c;
+        }
+        idxs.truncate(dest);
+        // Restore strict input order: positions are unique, so the sorted
+        // qualifier set — and therefore the output — is byte-identical
+        // for every thread count and morsel size.
+        idxs.sort_unstable();
+        let out_keys: Vec<u32> = idxs.iter().map(|&i| rel.keys[i as usize]).collect();
+        let out_pays: Vec<u32> = idxs.iter().map(|&i| rel.payloads[i as usize]).collect();
         Relation::new(out_keys, out_pays)
     }
 
@@ -146,6 +224,7 @@ impl Engine {
         let cfg = SortConfig {
             radix_bits: 8,
             threads: self.threads,
+            morsel_tuples: self.morsel_tuples,
         };
         let mut keys = std::mem::take(&mut rel.keys);
         let mut pays = std::mem::take(&mut rel.payloads);
@@ -157,21 +236,19 @@ impl Engine {
     }
 
     /// Hash-partition a relation into `fanout` parts (paper §7, buffered
-    /// shuffling). Returns the partitioned relation and the partition
-    /// start offsets.
+    /// shuffling), morsel-parallel and stable. Returns the partitioned
+    /// relation and the partition start offsets.
     pub fn hash_partition(&self, rel: &Relation, fanout: usize) -> (Relation, Vec<u32>) {
         let f = rsv_partition::HashFn::new(fanout);
-        let hist = dispatch!(self.backend, s => {
-            rsv_partition::histogram::histogram_vector_replicated(s, f, &rel.keys)
-        });
         let mut out_keys = vec![0u32; rel.len()];
         let mut out_pays = vec![0u32; rel.len()];
-        let starts = dispatch!(self.backend, s => {
-            rsv_partition::shuffle::shuffle_vector_buffered(
-                s, f, &rel.keys, &rel.payloads, &hist, &mut out_keys, &mut out_pays,
-            )
+        let pass = dispatch!(self.backend, s => {
+            rsv_partition::parallel::partition_pass_policy(
+                s, true, f, &rel.keys, &rel.payloads, &mut out_keys, &mut out_pays,
+                &self.policy(),
+            ).0
         });
-        (Relation::new(out_keys, out_pays), starts)
+        (Relation::new(out_keys, out_pays), pass.partition_starts)
     }
 
     /// Which partition a key belongs to under [`Engine::hash_partition`].
@@ -181,17 +258,38 @@ impl Engine {
 
     /// Group-by aggregation: per distinct key, `COUNT(*)` and
     /// `SUM(payload)` (vectorized hash aggregation, paper §5's second
-    /// hash-table use case). Returns `(key, count, sum)` rows in
-    /// unspecified order.
+    /// hash-table use case). Returns `(key, count, sum)` rows sorted by
+    /// key — workers aggregate claimed morsels into private tables whose
+    /// merge is commutative, so the result is schedule-independent.
     ///
-    /// `expected_groups` sizes the aggregation table; it may be any upper
+    /// `expected_groups` sizes the aggregation tables; it may be any upper
     /// bound (e.g. `rel.len()`).
     pub fn group_by_sum(&self, rel: &Relation, expected_groups: usize) -> Vec<(u32, u32, u64)> {
-        let mut table = rsv_hashtab::GroupAggTable::new(expected_groups.max(1), 0.5);
-        dispatch!(self.backend, s => {
-            table.update_vector(s, &rel.keys, &rel.payloads)
+        let q = MorselQueue::new(rel.len(), &self.policy(), 16);
+        let (tables, _) = parallel_scope_stats(self.threads, |ctx| {
+            let mut table = rsv_hashtab::GroupAggTable::new(expected_groups.max(1), 0.5);
+            for mo in ctx.morsels(&q) {
+                ctx.phase("aggregate", || {
+                    let r = mo.range.clone();
+                    dispatch!(self.backend, s => {
+                        table.update_vector(s, &rel.keys[r.clone()], &rel.payloads[r])
+                    });
+                });
+            }
+            table
         });
-        table.iter().collect()
+        let mut merged: std::collections::BTreeMap<u32, (u32, u64)> = Default::default();
+        for table in &tables {
+            for (k, c, sum) in table.iter() {
+                let e = merged.entry(k).or_default();
+                e.0 += c;
+                e.1 += sum;
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(k, (c, sum))| (k, c, sum))
+            .collect()
     }
 }
 

@@ -1,14 +1,11 @@
 //! Synthetic workload generators.
 
-use rand::seq::SliceRandom;
-use rand::Rng as _;
-
 use crate::relation::Relation;
 use crate::Rng;
 
 /// `n` uniformly distributed 32-bit keys (duplicates possible).
 pub fn uniform_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
-    (0..n).map(|_| rng.gen()).collect()
+    (0..n).map(|_| rng.next_u32()).collect()
 }
 
 /// `n` *distinct* 32-bit keys in random order.
@@ -23,10 +20,10 @@ pub fn unique_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
         n <= u32::MAX as usize + 1,
         "cannot draw more than 2^32 distinct u32 keys"
     );
-    let k0: u32 = rng.gen::<u32>() | 1; // odd multipliers are invertible mod 2^32
-    let k1: u32 = rng.gen::<u32>() | 1;
-    let x0: u32 = rng.gen();
-    let x1: u32 = rng.gen();
+    let k0: u32 = rng.next_u32() | 1; // odd multipliers are invertible mod 2^32
+    let k1: u32 = rng.next_u32() | 1;
+    let x0: u32 = rng.next_u32();
+    let x1: u32 = rng.next_u32();
     (0..n as u64)
         .map(|i| {
             // Each step is a bijection on u32, so the composition is too.
@@ -55,7 +52,7 @@ pub fn zipf_u32(n: usize, domain: u32, theta: f64, rng: &mut Rng) -> Vec<u32> {
         .sum();
     (0..n)
         .map(|_| {
-            let u: f64 = rng.gen_range(0.0..1.0);
+            let u: f64 = rng.f64();
             let mut cdf = 0.0;
             let mut pick = domain - 1;
             for i in 1..=domain.min(10_000) {
@@ -98,7 +95,7 @@ pub fn splitters(p: usize) -> Vec<u32> {
 
 /// Shuffle a vector in place with the deterministic RNG.
 pub fn shuffle<T>(v: &mut [T], rng: &mut Rng) {
-    v.shuffle(rng);
+    rng.shuffle(v);
 }
 
 /// A build/probe workload for hash tables and joins.
@@ -151,7 +148,7 @@ pub fn join_workload(
     let mut outer_keys = Vec::with_capacity(probe);
     for i in 0..probe {
         if i < probe - non_matching {
-            outer_keys.push(inner_keys_distinct[rng.gen_range(0..distinct)]);
+            outer_keys.push(inner_keys_distinct[rng.index(distinct)]);
         } else {
             outer_keys.push(miss_pool[i % miss_pool.len().max(1)]);
         }

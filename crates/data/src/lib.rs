@@ -10,6 +10,7 @@
 #![warn(clippy::all)]
 
 mod gen;
+mod prng;
 mod relation;
 mod verify;
 
@@ -17,14 +18,11 @@ pub use gen::{
     join_workload, selection_bounds, shuffle, splitters, uniform_u32, unique_u32, zipf_u32,
     JoinWorkload,
 };
+pub use prng::Rng;
 pub use relation::Relation;
 pub use verify::{multiset_fingerprint, sum_u64};
 
-/// Deterministic RNG used throughout the workloads.
-pub type Rng = rand::rngs::StdRng;
-
 /// Construct the deterministic RNG from a seed.
 pub fn rng(seed: u64) -> Rng {
-    use rand::SeedableRng;
     Rng::seed_from_u64(seed)
 }

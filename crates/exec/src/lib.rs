@@ -2,21 +2,31 @@
 //! and platform inspection.
 //!
 //! The paper parallelizes each operator by splitting the input equally
-//! among threads and synchronizing with barriers (Sections 8 and 9); this
-//! crate provides exactly those primitives, plus the 64-byte aligned
-//! buffers the buffered-shuffling and streaming-store code paths need.
+//! among threads and synchronizing with barriers (Sections 8 and 9). This
+//! crate keeps those phase barriers but replaces the static equal split
+//! with morsel-driven work stealing (see [`MorselQueue`]): inputs are cut
+//! into SIMD-aligned morsels that workers claim from per-worker atomic
+//! cursors, stealing when their own span runs dry. It also provides the
+//! 64-byte aligned buffers the buffered-shuffling and streaming-store code
+//! paths need, and per-worker scheduler instrumentation
+//! ([`SchedulerStats`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod aligned;
+mod morsel;
 mod parallel;
 mod platform;
 mod shared;
 mod timing;
 
 pub use aligned::AlignedVec;
-pub use parallel::{chunk_ranges, parallel_scope, ParallelContext};
+pub use morsel::{ExecPolicy, Morsel, MorselQueue, DEFAULT_MORSEL_TUPLES};
+pub use parallel::{
+    chunk_ranges, parallel_scope, parallel_scope_stats, Morsels, ParallelContext, SchedulerStats,
+    WorkerStats,
+};
 pub use platform::{platform_report, PlatformReport};
-pub use shared::SharedBuffer;
+pub use shared::{SharedBuffer, SlotMap};
 pub use timing::{throughput_mtps, time, time_n, Timed};

@@ -1,33 +1,131 @@
-//! Thread parallelism: equal input splitting plus barrier synchronization,
-//! the paper's parallelization scheme for individual operators.
+//! Thread parallelism: morsel scheduling contexts plus barrier
+//! synchronization, the substrate for the paper's per-operator phases.
 
+use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::Barrier;
+use std::time::Instant;
 
-/// Split `0..n` into `t` contiguous ranges whose lengths differ by at most
-/// one, with every range start (except possibly the last ranges) aligned to
-/// `align` elements so vector kernels stay aligned.
+use crate::morsel::{Morsel, MorselQueue};
+
+/// Split `0..n` into `t` contiguous ranges with every interior boundary
+/// aligned to `align` elements (power of two), so vector kernels never
+/// straddle a range boundary mid-word.
+///
+/// Boundaries are the ideal equal-split points rounded to the *nearest*
+/// multiple of `align`: when `n >= t * align` every range is non-empty and
+/// lengths differ by at most about `2 * align`; smaller inputs may leave
+/// trailing ranges empty (there are only `n / align` whole aligned blocks
+/// to hand out). An interior boundary is either a multiple of `align` or
+/// clamped to `n`.
 pub fn chunk_ranges(n: usize, t: usize, align: usize) -> Vec<Range<usize>> {
-    assert!(t > 0, "need at least one thread");
+    assert!(t > 0, "need at least one chunk");
     assert!(align.is_power_of_two(), "alignment must be a power of two");
-    let per = n / t;
-    let mut starts = Vec::with_capacity(t + 1);
-    let mut acc = 0usize;
-    for i in 0..t {
-        starts.push(acc.min(n));
-        let mut next = acc + per + usize::from(i < n % t);
-        next &= !(align - 1);
-        acc = next;
-    }
-    starts.push(n);
-    // Fix up: make monotone and cover everything.
     let mut ranges = Vec::with_capacity(t);
-    for i in 0..t {
-        let start = starts[i].min(n);
-        let end = if i + 1 == t { n } else { starts[i + 1].min(n) };
-        ranges.push(start..end.max(start));
+    let mut prev = 0usize;
+    for i in 1..=t {
+        let end = if i == t {
+            n
+        } else {
+            let ideal = ((i as u128 * n as u128) / t as u128) as usize;
+            // Round to nearest; the `u128` widening above and the saturating
+            // add here keep the arithmetic safe for any `usize` input.
+            let rounded = ideal.saturating_add(align / 2) & !(align - 1);
+            rounded.clamp(prev, n)
+        };
+        ranges.push(prev..end);
+        prev = end;
     }
     ranges
+}
+
+/// What one worker did during a [`parallel_scope_stats`] region.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Morsels this worker claimed (own span and stolen).
+    pub morsels: u64,
+    /// Morsels claimed from *another* worker's span.
+    pub steals: u64,
+    /// Tuples covered by the claimed morsels.
+    pub tuples: u64,
+    /// Wall-clock nanoseconds per named phase, in first-use order
+    /// (repeated phases — e.g. one histogram phase per radix pass —
+    /// accumulate into one entry).
+    pub phase_ns: Vec<(&'static str, u64)>,
+}
+
+impl WorkerStats {
+    fn record_claim(&mut self, m: &Morsel) {
+        self.morsels += 1;
+        self.steals += u64::from(m.stolen);
+        self.tuples += m.range.len() as u64;
+    }
+
+    fn record_phase(&mut self, name: &'static str, ns: u64) {
+        if let Some(e) = self.phase_ns.iter_mut().find(|e| e.0 == name) {
+            e.1 += ns;
+        } else {
+            self.phase_ns.push((name, ns));
+        }
+    }
+}
+
+/// Per-worker scheduler instrumentation for one parallel region.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerStats {
+    /// One entry per worker, in thread-id order.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl SchedulerStats {
+    /// Total morsels claimed across workers.
+    pub fn total_morsels(&self) -> u64 {
+        self.workers.iter().map(|w| w.morsels).sum()
+    }
+
+    /// Total steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total tuples claimed across workers.
+    pub fn total_tuples(&self) -> u64 {
+        self.workers.iter().map(|w| w.tuples).sum()
+    }
+
+    /// Fold another region's stats into this one, worker by worker (for
+    /// operators that run several parallel regions back to back).
+    pub fn merge(&mut self, other: &SchedulerStats) {
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStats::default());
+        }
+        for (into, from) in self.workers.iter_mut().zip(&other.workers) {
+            into.morsels += from.morsels;
+            into.steals += from.steals;
+            into.tuples += from.tuples;
+            for &(name, ns) in &from.phase_ns {
+                into.record_phase(name, ns);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (id, w) in self.workers.iter().enumerate() {
+            write!(
+                f,
+                "  worker {id}: {:>5} morsels ({:>3} stolen) {:>10} tuples",
+                w.morsels, w.steals, w.tuples
+            )?;
+            for (name, ns) in &w.phase_ns {
+                write!(f, "  {name} {:.2}ms", *ns as f64 / 1e6)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
 }
 
 /// Per-thread context handed to [`parallel_scope`] workers.
@@ -37,6 +135,7 @@ pub struct ParallelContext<'a> {
     /// Total number of workers.
     pub threads: usize,
     barrier: &'a Barrier,
+    stats: RefCell<WorkerStats>,
 }
 
 impl ParallelContext<'_> {
@@ -44,6 +143,42 @@ impl ParallelContext<'_> {
     /// histogram/shuffle and build/probe phase boundaries).
     pub fn barrier(&self) {
         self.barrier.wait();
+    }
+
+    /// Iterate over this worker's share of `queue`, claiming morsels
+    /// (own span first, then stealing) and recording scheduler stats.
+    pub fn morsels<'c, 'q>(&'c self, queue: &'q MorselQueue) -> Morsels<'c, 'q>
+    where
+        'q: 'c,
+    {
+        Morsels { ctx: self, queue }
+    }
+
+    /// Run `f` as a named phase, accumulating its wall-clock time into
+    /// this worker's stats.
+    pub fn phase<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let r = f();
+        self.stats
+            .borrow_mut()
+            .record_phase(name, t.elapsed().as_nanos() as u64);
+        r
+    }
+}
+
+/// Morsel-claiming iterator returned by [`ParallelContext::morsels`].
+pub struct Morsels<'c, 'q> {
+    ctx: &'c ParallelContext<'c>,
+    queue: &'q MorselQueue,
+}
+
+impl Iterator for Morsels<'_, '_> {
+    type Item = Morsel;
+
+    fn next(&mut self) -> Option<Morsel> {
+        let m = self.queue.claim(self.ctx.thread_id)?;
+        self.ctx.stats.borrow_mut().record_claim(&m);
+        Some(m)
     }
 }
 
@@ -57,47 +192,58 @@ where
     R: Send,
     F: Fn(&ParallelContext<'_>) -> R + Sync,
 {
+    parallel_scope_stats(t, f).0
+}
+
+/// [`parallel_scope`], additionally returning per-worker scheduler stats
+/// (morsels claimed, steals, tuples, per-phase times).
+pub fn parallel_scope_stats<R, F>(t: usize, f: F) -> (Vec<R>, SchedulerStats)
+where
+    R: Send,
+    F: Fn(&ParallelContext<'_>) -> R + Sync,
+{
     assert!(t > 0, "need at least one thread");
     let barrier = Barrier::new(t);
-    if t == 1 {
+    let run = |thread_id: usize, barrier: &Barrier| {
         let ctx = ParallelContext {
-            thread_id: 0,
-            threads: 1,
-            barrier: &barrier,
-        };
-        return vec![f(&ctx)];
-    }
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(t - 1);
-        for thread_id in 1..t {
-            let barrier = &barrier;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let ctx = ParallelContext {
-                    thread_id,
-                    threads: t,
-                    barrier,
-                };
-                f(&ctx)
-            }));
-        }
-        let ctx = ParallelContext {
-            thread_id: 0,
+            thread_id,
             threads: t,
-            barrier: &barrier,
+            barrier,
+            stats: RefCell::new(WorkerStats::default()),
         };
-        let first = f(&ctx);
-        let mut results = vec![first];
-        for h in handles {
-            results.push(h.join().expect("worker panicked"));
-        }
-        results
-    })
+        let r = f(&ctx);
+        (r, ctx.stats.into_inner())
+    };
+    let per_worker: Vec<(R, WorkerStats)> = if t == 1 {
+        vec![run(0, &barrier)]
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(t - 1);
+            for thread_id in 1..t {
+                let barrier = &barrier;
+                let run = &run;
+                handles.push(scope.spawn(move || run(thread_id, barrier)));
+            }
+            let mut results = vec![run(0, &barrier)];
+            for h in handles {
+                results.push(h.join().expect("worker panicked"));
+            }
+            results
+        })
+    };
+    let mut results = Vec::with_capacity(t);
+    let mut stats = SchedulerStats::default();
+    for (r, w) in per_worker {
+        results.push(r);
+        stats.workers.push(w);
+    }
+    (results, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::morsel::ExecPolicy;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -115,7 +261,65 @@ mod tests {
                 assert_eq!(total, n);
                 // interior boundaries are aligned
                 for r in &ranges[..t - 1] {
-                    assert_eq!(r.end % 16, 0, "n={n} t={t} {ranges:?}");
+                    assert!(r.end % 16 == 0 || r.end == n, "n={n} t={t} {ranges:?}");
+                }
+            }
+        }
+    }
+
+    /// Regression sweep for the alignment-collapse bug: rounding split
+    /// points *down* to the alignment used to collapse every boundary to 0
+    /// whenever `n / t < align`, giving the last thread the whole input.
+    #[test]
+    fn chunks_do_not_collapse_under_alignment() {
+        for n in [
+            0usize,
+            1,
+            7,
+            15,
+            16,
+            17,
+            63,
+            64,
+            65,
+            127,
+            255,
+            1 << 10,
+            (1 << 14) + 3,
+        ] {
+            for t in [1usize, 2, 3, 4, 7, 8, 16] {
+                for align in [1usize, 2, 8, 16, 64] {
+                    let ranges = chunk_ranges(n, t, align);
+                    assert_eq!(ranges.len(), t, "n={n} t={t} a={align}");
+                    let mut prev = 0;
+                    for (i, r) in ranges.iter().enumerate() {
+                        assert_eq!(r.start, prev, "n={n} t={t} a={align} {ranges:?}");
+                        assert!(r.start <= r.end);
+                        prev = r.end;
+                        if i + 1 < t {
+                            assert!(
+                                r.end % align == 0 || r.end == n,
+                                "unaligned interior boundary: n={n} t={t} a={align} {ranges:?}"
+                            );
+                        }
+                    }
+                    assert_eq!(prev, n, "n={n} t={t} a={align}");
+
+                    if n >= t * align {
+                        // the collapse bug: some range swallowing everything
+                        for r in &ranges {
+                            assert!(
+                                !r.is_empty(),
+                                "empty range despite n >= t*align: n={n} t={t} a={align} {ranges:?}"
+                            );
+                        }
+                        let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                        let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                        assert!(
+                            max - min <= 2 * align + 1,
+                            "unbalanced: n={n} t={t} a={align} {ranges:?}"
+                        );
+                    }
                 }
             }
         }
@@ -146,5 +350,58 @@ mod tests {
             ctx.threads
         });
         assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn stats_account_for_every_tuple() {
+        let n = 100_000;
+        let policy = ExecPolicy::new(3).with_morsel_tuples(1024);
+        let queue = MorselQueue::new(n, &policy, 16);
+        let (sums, stats) = parallel_scope_stats(3, |ctx| {
+            let mut sum = 0usize;
+            for m in ctx.morsels(&queue) {
+                sum += ctx.phase("work", || m.range.len());
+            }
+            sum
+        });
+        assert_eq!(sums.iter().sum::<usize>(), n);
+        assert_eq!(stats.total_tuples(), n as u64);
+        assert_eq!(stats.total_morsels(), queue.morsel_count() as u64);
+        assert_eq!(stats.workers.len(), 3);
+        for w in &stats.workers {
+            if w.morsels > 0 {
+                assert_eq!(w.phase_ns.len(), 1);
+                assert_eq!(w.phase_ns[0].0, "work");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_by_worker() {
+        let mut a = SchedulerStats {
+            workers: vec![WorkerStats {
+                morsels: 1,
+                steals: 0,
+                tuples: 10,
+                phase_ns: vec![("x", 5)],
+            }],
+        };
+        let b = SchedulerStats {
+            workers: vec![
+                WorkerStats {
+                    morsels: 2,
+                    steals: 1,
+                    tuples: 20,
+                    phase_ns: vec![("x", 7), ("y", 1)],
+                },
+                WorkerStats::default(),
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.workers.len(), 2);
+        assert_eq!(a.workers[0].morsels, 3);
+        assert_eq!(a.workers[0].tuples, 30);
+        assert_eq!(a.workers[0].phase_ns, vec![("x", 12), ("y", 1)]);
+        assert_eq!(a.total_steals(), 1);
     }
 }

@@ -74,6 +74,75 @@ impl<T: Copy> SharedBuffer<T> {
     }
 }
 
+/// Per-morsel result slots for one scheduling phase.
+///
+/// Each slot is written exactly once — by whichever worker claimed the
+/// corresponding morsel — before a barrier, and only read after it. This
+/// is how morselized operators keep per-morsel state (histograms, staging
+/// buffers, match counts) keyed by *morsel id* rather than worker id, which
+/// is what makes their output independent of the claim schedule.
+pub struct SlotMap<T> {
+    slots: UnsafeCell<Vec<Option<T>>>,
+}
+
+// SAFETY: concurrent access is governed by the put/get contracts below.
+unsafe impl<T: Send> Send for SlotMap<T> {}
+unsafe impl<T: Send> Sync for SlotMap<T> {}
+
+impl<T> SlotMap<T> {
+    /// `len` empty slots.
+    pub fn new(len: usize) -> SlotMap<T> {
+        SlotMap {
+            slots: UnsafeCell::new((0..len).map(|_| None).collect()),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        // SAFETY: the Vec is never resized while shared.
+        unsafe { (*self.slots.get()).len() }
+    }
+
+    /// `true` if the map has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fill slot `i`.
+    ///
+    /// # Safety
+    /// At most one worker may write a given slot between two barriers, and
+    /// no other worker may read it until after the next barrier.
+    pub unsafe fn put(&self, i: usize, value: T) {
+        let slots: &mut Vec<Option<T>> = &mut *self.slots.get();
+        slots[i] = Some(value);
+    }
+
+    /// Read slot `i` (panics if it was never filled).
+    ///
+    /// # Safety
+    /// All writers must have crossed a barrier before any reads.
+    pub unsafe fn get(&self, i: usize) -> &T {
+        let slots: &Vec<Option<T>> = &*self.slots.get();
+        slots[i].as_ref().expect("slot never filled before read")
+    }
+
+    /// Mutably borrow slot `i` (panics if it was never filled).
+    ///
+    /// # Safety
+    /// Same contract as [`SlotMap::put`]: one worker per slot per phase.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        let slots: &mut Vec<Option<T>> = &mut *self.slots.get();
+        slots[i].as_mut().expect("slot never filled before read")
+    }
+
+    /// Recover all slots once every worker is done.
+    pub fn into_values(self) -> Vec<Option<T>> {
+        self.slots.into_inner()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +161,35 @@ mod tests {
         });
         let v = buf.into_vec();
         assert!(v.iter().enumerate().all(|(i, &x)| x == (i * 2) as u32));
+    }
+
+    #[test]
+    fn slot_map_per_morsel_results() {
+        use crate::morsel::{ExecPolicy, MorselQueue};
+        let policy = ExecPolicy::new(4).with_morsel_tuples(100);
+        let q = MorselQueue::new(5_000, &policy, 16);
+        let slots: SlotMap<Vec<usize>> = SlotMap::new(q.morsel_count());
+        parallel_scope(4, |ctx| {
+            for m in ctx.morsels(&q) {
+                // SAFETY: each morsel id is claimed exactly once.
+                unsafe { slots.put(m.id, m.range.clone().collect()) };
+            }
+        });
+        let values = slots.into_values();
+        let total: usize = values
+            .iter()
+            .map(|v| v.as_ref().expect("unfilled slot").len())
+            .sum();
+        assert_eq!(total, 5_000);
+        // slot i holds exactly morsel i's range, regardless of which
+        // worker claimed it
+        let mut next = 0;
+        for v in values.iter().map(|v| v.as_ref().unwrap()) {
+            for &x in v {
+                assert_eq!(x, next);
+                next += 1;
+            }
+        }
     }
 
     #[test]

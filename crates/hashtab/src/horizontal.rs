@@ -293,8 +293,13 @@ impl BucketizedCuckoo {
     /// `slots` keys per bucket. Bucketized cuckoo supports much higher
     /// load factors than 1-slot cuckoo; 0.8 is safe for `slots >= 4`.
     pub fn new(capacity: usize, load_factor: f64, slots: usize) -> Self {
-        assert!(slots.is_power_of_two() && slots >= 2, "slots must be a power of two >= 2");
-        let nbuckets = crate::bucket_count(capacity, load_factor).div_ceil(slots).max(2);
+        assert!(
+            slots.is_power_of_two() && slots >= 2,
+            "slots must be a power of two >= 2"
+        );
+        let nbuckets = crate::bucket_count(capacity, load_factor)
+            .div_ceil(slots)
+            .max(2);
         BucketizedCuckoo {
             keys: vec![EMPTY_KEY; nbuckets * slots],
             pays: vec![0; nbuckets * slots],
@@ -337,7 +342,10 @@ impl BucketizedCuckoo {
     /// Insert one tuple, kicking occupants between their candidate
     /// buckets when both are full.
     pub fn try_insert(&mut self, key: u32, pay: u32) -> Result<(), CuckooBuildError> {
-        assert_ne!(key, EMPTY_KEY, "key {key:#x} is the reserved empty sentinel");
+        assert_ne!(
+            key, EMPTY_KEY,
+            "key {key:#x} is the reserved empty sentinel"
+        );
         assert!(self.len < self.keys.len(), "hash table is full");
         let mut k = key;
         let mut p = pay;
@@ -349,7 +357,11 @@ impl BucketizedCuckoo {
             }
             let alt = {
                 let b1 = self.h1.bucket(k, self.nbuckets);
-                if bucket == b1 { self.h2.bucket(k, self.nbuckets) } else { b1 }
+                if bucket == b1 {
+                    self.h2.bucket(k, self.nbuckets)
+                } else {
+                    b1
+                }
             };
             if self.try_place(alt, k, p) {
                 self.len += 1;
@@ -361,7 +373,11 @@ impl BucketizedCuckoo {
             core::mem::swap(&mut k, &mut self.keys[base + slot]);
             core::mem::swap(&mut p, &mut self.pays[base + slot]);
             let vb1 = self.h1.bucket(k, self.nbuckets);
-            bucket = if alt == vb1 { self.h2.bucket(k, self.nbuckets) } else { vb1 };
+            bucket = if alt == vb1 {
+                self.h2.bucket(k, self.nbuckets)
+            } else {
+                vb1
+            };
         }
         Err(CuckooBuildError { key: k, payload: p })
     }
@@ -382,7 +398,11 @@ impl BucketizedCuckoo {
     /// If `S::LANES != slots`.
     pub fn probe_horizontal<S: Simd>(&self, s: S, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
-        assert_eq!(S::LANES, self.slots, "bucket width must equal the backend lane count");
+        assert_eq!(
+            S::LANES,
+            self.slots,
+            "bucket width must equal the backend lane count"
+        );
         s.vectorize(
             #[inline(always)]
             || {
@@ -421,7 +441,13 @@ mod cuckoo_bucket_tests {
         assert_eq!(t.len(), bk.len());
 
         let pk: Vec<u32> = (0..10_000)
-            .map(|i| if i % 5 == 4 { bk[i % 4000] ^ 3 } else { bk[(i * 7) % 4000] })
+            .map(|i| {
+                if i % 5 == 4 {
+                    bk[i % 4000] ^ 3
+                } else {
+                    bk[(i * 7) % 4000]
+                }
+            })
             .collect();
         let pp: Vec<u32> = (0..10_000).collect();
         let mut sink = JoinSink::with_capacity(0);

@@ -1,9 +1,9 @@
 //! Property tests: hash-table build+probe equals a `HashMap` reference
 //! join for arbitrary key multisets, on every backend and every scheme.
 
-use proptest::prelude::*;
 use rsv_hashtab::{CuckooTable, DoubleHashTable, GroupAggTable, JoinSink, LinearTable, EMPTY_KEY};
 use rsv_simd::Backend;
+use rsv_testkit as tk;
 use std::collections::HashMap;
 
 fn reference_join(build: &[(u32, u32)], probe: &[(u32, u32)]) -> Vec<(u32, u32, u32)> {
@@ -31,22 +31,27 @@ fn sorted_rows(sink: &JoinSink) -> Vec<(u32, u32, u32)> {
 
 /// Keys in a small domain (to force repeats and probe collisions) that
 /// avoids the empty sentinel.
-fn key_strategy() -> impl Strategy<Value = u32> {
-    prop_oneof![0u32..50, any::<u32>().prop_map(|k| k % (u32::MAX - 1))]
+fn keys_for_collisions(rng: &mut tk::Rng, min_len: usize, max_len: usize) -> Vec<u32> {
+    let n = tk::len_in(rng, min_len, max_len);
+    (0..n).map(|_| tk::key_not_sentinel(rng, 50)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn linear_and_double_match_reference() {
+    tk::check("linear_and_double_match_reference", 64, 0xa571, |rng| {
+        let bkeys = keys_for_collisions(rng, 0, 200);
+        let pkeys = keys_for_collisions(rng, 0, 300);
 
-    #[test]
-    fn linear_and_double_match_reference(
-        bkeys in proptest::collection::vec(key_strategy(), 0..200),
-        pkeys in proptest::collection::vec(key_strategy(), 0..300),
-    ) {
-        let build: Vec<(u32, u32)> =
-            bkeys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
-        let probe: Vec<(u32, u32)> =
-            pkeys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let build: Vec<(u32, u32)> = bkeys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        let probe: Vec<(u32, u32)> = pkeys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
         let expected = reference_join(&build, &probe);
         let bp: Vec<u32> = build.iter().map(|x| x.1).collect();
         let pp: Vec<u32> = probe.iter().map(|x| x.1).collect();
@@ -57,59 +62,75 @@ proptest! {
                 lp.build_vertical(s, &bkeys, &bp);
                 let mut sink = JoinSink::with_capacity(0);
                 lp.probe_vertical(s, &pkeys, &pp, &mut sink);
-                prop_assert_eq!(sorted_rows(&sink), expected.clone(), "lp {}", backend.name());
+                assert_eq!(sorted_rows(&sink), expected.clone(), "lp {}", backend.name());
 
                 let mut sink = JoinSink::with_capacity(0);
                 lp.probe_vertical_interleaved(s, &pkeys, &pp, &mut sink);
-                prop_assert_eq!(sorted_rows(&sink), expected.clone(), "lp-x4 {}", backend.name());
+                assert_eq!(sorted_rows(&sink), expected.clone(), "lp-x4 {}", backend.name());
 
                 let mut dh = DoubleHashTable::new(bkeys.len(), 0.5);
                 dh.build_vertical(s, &bkeys, &bp);
                 let mut sink = JoinSink::with_capacity(0);
                 dh.probe_vertical(s, &pkeys, &pp, &mut sink);
-                prop_assert_eq!(sorted_rows(&sink), expected.clone(), "dh {}", backend.name());
+                assert_eq!(sorted_rows(&sink), expected.clone(), "dh {}", backend.name());
             });
         }
-    }
+    });
+}
 
-    #[test]
-    fn cuckoo_matches_reference_on_unique_keys(
-        seed in any::<u64>(),
-        nb in 1usize..300,
-        np in 0usize..400,
-    ) {
-        let mut rng = rsv_data::rng(seed);
-        let bkeys = rsv_data::unique_u32(nb, &mut rng);
-        let bp: Vec<u32> = (0..nb as u32).collect();
-        let pkeys: Vec<u32> = (0..np)
-            .map(|i| if i % 3 == 2 { bkeys[i % nb].wrapping_add(1) } else { bkeys[(i * 5) % nb] })
-            .filter(|&k| k != EMPTY_KEY)
+#[test]
+fn cuckoo_matches_reference_on_unique_keys() {
+    tk::check(
+        "cuckoo_matches_reference_on_unique_keys",
+        64,
+        0xa572,
+        |rng| {
+            let seed = rng.next_u64();
+            let nb = 1 + rng.index(299);
+            let np = rng.index(400);
+
+            let mut drng = rsv_data::rng(seed);
+            let bkeys = rsv_data::unique_u32(nb, &mut drng);
+            let bp: Vec<u32> = (0..nb as u32).collect();
+            let pkeys: Vec<u32> = (0..np)
+                .map(|i| {
+                    if i % 3 == 2 {
+                        bkeys[i % nb].wrapping_add(1)
+                    } else {
+                        bkeys[(i * 5) % nb]
+                    }
+                })
+                .filter(|&k| k != EMPTY_KEY)
+                .collect();
+            let pp: Vec<u32> = (0..pkeys.len() as u32).collect();
+            let build: Vec<(u32, u32)> = bkeys.iter().copied().zip(bp.iter().copied()).collect();
+            let probe: Vec<(u32, u32)> = pkeys.iter().copied().zip(pp.iter().copied()).collect();
+            let expected = reference_join(&build, &probe);
+
+            let backend = Backend::best();
+            rsv_simd::dispatch!(backend, s => {
+                let mut ck = CuckooTable::new(nb, 0.45);
+                ck.build_vertical(s, &bkeys, &bp).expect("cuckoo build at 45% load");
+                let mut sink = JoinSink::with_capacity(0);
+                ck.probe_vertical_select(s, &pkeys, &pp, &mut sink);
+                assert_eq!(sorted_rows(&sink), expected.clone());
+                let mut sink = JoinSink::with_capacity(0);
+                ck.probe_vertical_blend(s, &pkeys, &pp, &mut sink);
+                assert_eq!(sorted_rows(&sink), expected);
+            });
+        },
+    );
+}
+
+#[test]
+fn aggregation_matches_reference() {
+    tk::check("aggregation_matches_reference", 64, 0xa573, |rng| {
+        let keys = tk::vec_u32_in(rng, 0, 500, 40);
+        let vals_seed = rng.next_u32();
+
+        let values: Vec<u32> = (0..keys.len() as u32)
+            .map(|i| i.wrapping_mul(vals_seed | 1))
             .collect();
-        let pp: Vec<u32> = (0..pkeys.len() as u32).collect();
-        let build: Vec<(u32, u32)> = bkeys.iter().copied().zip(bp.iter().copied()).collect();
-        let probe: Vec<(u32, u32)> = pkeys.iter().copied().zip(pp.iter().copied()).collect();
-        let expected = reference_join(&build, &probe);
-
-        let backend = Backend::best();
-        rsv_simd::dispatch!(backend, s => {
-            let mut ck = CuckooTable::new(nb, 0.45);
-            ck.build_vertical(s, &bkeys, &bp).expect("cuckoo build at 45% load");
-            let mut sink = JoinSink::with_capacity(0);
-            ck.probe_vertical_select(s, &pkeys, &pp, &mut sink);
-            prop_assert_eq!(sorted_rows(&sink), expected.clone());
-            let mut sink = JoinSink::with_capacity(0);
-            ck.probe_vertical_blend(s, &pkeys, &pp, &mut sink);
-            prop_assert_eq!(sorted_rows(&sink), expected);
-        });
-    }
-
-    #[test]
-    fn aggregation_matches_reference(
-        keys in proptest::collection::vec(0u32..40, 0..500),
-        vals_seed in any::<u32>(),
-    ) {
-        let values: Vec<u32> =
-            (0..keys.len() as u32).map(|i| i.wrapping_mul(vals_seed | 1)).collect();
         let mut expected: HashMap<u32, (u32, u64)> = HashMap::new();
         for (&k, &v) in keys.iter().zip(&values) {
             let e = expected.entry(k).or_default();
@@ -122,8 +143,8 @@ proptest! {
                 t.update_vector(s, &keys, &values);
                 let got: HashMap<u32, (u32, u64)> =
                     t.iter().map(|(k, c, sum)| (k, (c, sum))).collect();
-                prop_assert_eq!(&got, &expected, "backend {}", backend.name());
+                assert_eq!(&got, &expected, "backend {}", backend.name());
             });
         }
-    }
+    });
 }

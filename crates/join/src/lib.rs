@@ -22,9 +22,12 @@ mod max_partition;
 mod min_partition;
 mod no_partition;
 
-pub use max_partition::join_max_partition;
-pub use min_partition::join_min_partition;
-pub use no_partition::join_no_partition;
+pub use max_partition::{
+    join_max_partition, join_max_partition_policy, join_max_partition_with_target,
+    DEFAULT_PART_TUPLES,
+};
+pub use min_partition::{join_min_partition, join_min_partition_policy};
+pub use no_partition::{join_no_partition, join_no_partition_policy};
 
 use rsv_hashtab::JoinSink;
 use std::time::Duration;

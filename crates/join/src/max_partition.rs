@@ -6,13 +6,13 @@
 use std::time::Instant;
 
 use rsv_data::Relation;
-use rsv_exec::{chunk_ranges, parallel_scope};
+use rsv_exec::{parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats};
 use rsv_hashtab::{
     lp_build_scalar_raw, lp_build_vertical_raw, lp_probe_scalar_raw, lp_probe_vertical_raw,
     JoinSink, MulHash, EMPTY_PAIR,
 };
 use rsv_partition::histogram::{histogram_scalar, histogram_vector_replicated, prefix_sum};
-use rsv_partition::parallel::partition_pass_parallel;
+use rsv_partition::parallel::partition_pass_policy;
 use rsv_partition::shuffle::{shuffle_scalar_buffered, shuffle_vector_buffered};
 use rsv_partition::HashFn;
 use rsv_simd::Simd;
@@ -47,7 +47,31 @@ pub fn join_max_partition_with_target<S: Simd>(
     threads: usize,
     part_target: usize,
 ) -> JoinResult {
-    assert!(threads >= 1 && part_target >= 1);
+    join_max_partition_policy(
+        s,
+        vectorized,
+        inner,
+        outer,
+        &ExecPolicy::new(threads),
+        part_target,
+    )
+    .0
+}
+
+/// [`join_max_partition_with_target`] with explicit morsel scheduling,
+/// returning per-worker scheduler stats. Each cache-resident part becomes
+/// one stealable build+probe task, so a worker stuck on a skew-inflated
+/// part no longer stalls the join.
+pub fn join_max_partition_policy<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    policy: &ExecPolicy,
+    part_target: usize,
+) -> (JoinResult, SchedulerStats) {
+    let threads = policy.threads;
+    assert!(part_target >= 1);
     let table_hash = MulHash::nth(0);
     let f1_factor = MulHash::nth(2).factor();
     let f2_factor = MulHash::nth(3).factor();
@@ -61,10 +85,25 @@ pub fn join_max_partition_with_target<S: Simd>(
     let fanout1 = inner.len().div_ceil(part_target).clamp(1, MAX_PASS_FANOUT);
     let f1 = HashFn::with_factor(fanout1, f1_factor);
 
-    let (mut ik, mut ip, istarts, ihist) =
-        partition_relation(s, vectorized, f1, &inner.keys, &inner.payloads, threads);
-    let (mut ok_, mut op, ostarts, ohist) =
-        partition_relation(s, vectorized, f1, &outer.keys, &outer.payloads, threads);
+    let mut stats = SchedulerStats::default();
+    let (mut ik, mut ip, istarts, ihist) = partition_relation(
+        s,
+        vectorized,
+        f1,
+        &inner.keys,
+        &inner.payloads,
+        policy,
+        &mut stats,
+    );
+    let (mut ok_, mut op, ostarts, ohist) = partition_relation(
+        s,
+        vectorized,
+        f1,
+        &outer.keys,
+        &outer.payloads,
+        policy,
+        &mut stats,
+    );
 
     // Second-level split for oversized parts, with an independent hash.
     let mut parts: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> = Vec::new();
@@ -119,71 +158,75 @@ pub fn join_max_partition_with_target<S: Simd>(
 
     // ------------------------------------------------------------------
     // Phase 2+3: per part, build a cache-resident table and probe it.
-    // Parts are distributed among threads; build/probe interleave per
-    // part, so the reported split is the threads' accumulated time.
+    // Each part is one stealable task; build/probe interleave per part,
+    // so the reported split is the workers' accumulated time.
     // ------------------------------------------------------------------
     let t0 = Instant::now();
-    let part_ranges = chunk_ranges(parts.len(), threads, 1);
+    let task_q = MorselQueue::tasks(parts.len(), threads);
     let ik_ref = &ik;
     let ip_ref = &ip;
     let ok_ref = &ok_;
     let op_ref = &op;
     let parts_ref = &parts;
-    let results: Vec<(JoinSink, u64, u64)> = parallel_scope(threads, |ctx| {
-        let my_parts = part_ranges[ctx.thread_id].clone();
-        let mut sink = JoinSink::with_capacity(1024);
-        let mut build_ns = 0u64;
-        let mut probe_ns = 0u64;
-        for (ir, or) in &parts_ref[my_parts] {
-            if ir.is_empty() || or.is_empty() {
-                continue;
+    let (results, task_stats): (Vec<(JoinSink, u64, u64)>, _) =
+        parallel_scope_stats(threads, |ctx| {
+            let mut sink = JoinSink::with_capacity(1024);
+            let mut build_ns = 0u64;
+            let mut probe_ns = 0u64;
+            for task in ctx.morsels(&task_q) {
+                let (ir, or) = &parts_ref[task.id];
+                if ir.is_empty() || or.is_empty() {
+                    continue;
+                }
+                ctx.phase("build+probe", || {
+                    let tb = Instant::now();
+                    let buckets = (ir.len() * 2 + 1).max(2);
+                    let mut pairs = vec![EMPTY_PAIR; buckets];
+                    if vectorized {
+                        lp_build_vertical_raw(
+                            s,
+                            &mut pairs,
+                            table_hash,
+                            &ik_ref[ir.clone()],
+                            &ip_ref[ir.clone()],
+                        );
+                    } else {
+                        lp_build_scalar_raw(
+                            &mut pairs,
+                            table_hash,
+                            &ik_ref[ir.clone()],
+                            &ip_ref[ir.clone()],
+                        );
+                    }
+                    build_ns += tb.elapsed().as_nanos() as u64;
+                    let tp = Instant::now();
+                    if vectorized {
+                        lp_probe_vertical_raw(
+                            s,
+                            &pairs,
+                            table_hash,
+                            &ok_ref[or.clone()],
+                            &op_ref[or.clone()],
+                            &mut sink,
+                        );
+                    } else {
+                        lp_probe_scalar_raw(
+                            &pairs,
+                            table_hash,
+                            &ok_ref[or.clone()],
+                            &op_ref[or.clone()],
+                            &mut sink,
+                        );
+                    }
+                    probe_ns += tp.elapsed().as_nanos() as u64;
+                });
             }
-            let tb = Instant::now();
-            let buckets = (ir.len() * 2 + 1).max(2);
-            let mut pairs = vec![EMPTY_PAIR; buckets];
-            if vectorized {
-                lp_build_vertical_raw(
-                    s,
-                    &mut pairs,
-                    table_hash,
-                    &ik_ref[ir.clone()],
-                    &ip_ref[ir.clone()],
-                );
-            } else {
-                lp_build_scalar_raw(
-                    &mut pairs,
-                    table_hash,
-                    &ik_ref[ir.clone()],
-                    &ip_ref[ir.clone()],
-                );
-            }
-            build_ns += tb.elapsed().as_nanos() as u64;
-            let tp = Instant::now();
-            if vectorized {
-                lp_probe_vertical_raw(
-                    s,
-                    &pairs,
-                    table_hash,
-                    &ok_ref[or.clone()],
-                    &op_ref[or.clone()],
-                    &mut sink,
-                );
-            } else {
-                lp_probe_scalar_raw(
-                    &pairs,
-                    table_hash,
-                    &ok_ref[or.clone()],
-                    &op_ref[or.clone()],
-                    &mut sink,
-                );
-            }
-            probe_ns += tp.elapsed().as_nanos() as u64;
-        }
-        (sink, build_ns, probe_ns)
-    });
+            (sink, build_ns, probe_ns)
+        });
     let build_probe = t0.elapsed();
+    stats.merge(&task_stats);
 
-    // Split the build+probe wall time by the threads' accumulated ratios.
+    // Split the build+probe wall time by the workers' accumulated ratios.
     let total_build: u64 = results.iter().map(|r| r.1).sum();
     let total_probe: u64 = results.iter().map(|r| r.2).sum();
     let denom = (total_build + total_probe).max(1);
@@ -191,29 +234,36 @@ pub fn join_max_partition_with_target<S: Simd>(
     let probe = build_probe.saturating_sub(build);
     let sinks = results.into_iter().map(|r| r.0).collect();
 
-    JoinResult {
-        sinks,
-        timings: JoinTimings {
-            partition,
-            build,
-            probe,
+    (
+        JoinResult {
+            sinks,
+            timings: JoinTimings {
+                partition,
+                build,
+                probe,
+            },
         },
-    }
+        stats,
+    )
 }
 
 /// One full-relation partitioning pass; returns the partitioned columns,
-/// partition starts and histogram.
+/// partition starts and histogram, merging scheduler stats into `stats`.
+#[allow(clippy::too_many_arguments)]
 fn partition_relation<S: Simd>(
     s: S,
     vectorized: bool,
     f: HashFn,
     keys: &[u32],
     pays: &[u32],
-    threads: usize,
+    policy: &ExecPolicy,
+    stats: &mut SchedulerStats,
 ) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
     let mut dk = vec![0u32; keys.len()];
     let mut dp = vec![0u32; pays.len()];
-    let pass = partition_pass_parallel(s, vectorized, f, keys, pays, &mut dk, &mut dp, threads);
+    let (pass, pass_stats) =
+        partition_pass_policy(s, vectorized, f, keys, pays, &mut dk, &mut dp, policy);
+    stats.merge(&pass_stats);
     (dk, dp, pass.partition_starts, pass.hist)
 }
 

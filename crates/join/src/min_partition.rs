@@ -6,12 +6,12 @@
 use std::time::Instant;
 
 use rsv_data::Relation;
-use rsv_exec::{chunk_ranges, parallel_scope, SharedBuffer};
+use rsv_exec::{parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats, SharedBuffer};
 use rsv_hashtab::{
     lp_build_scalar_raw, lp_build_vertical_raw, lp_probe_one_raw, JoinSink, MulHash, EMPTY_KEY,
     EMPTY_PAIR,
 };
-use rsv_partition::parallel::partition_pass_parallel;
+use rsv_partition::parallel::partition_pass_policy;
 use rsv_partition::{HashFn, PartitionFn};
 use rsv_simd::{MaskLike, Simd};
 
@@ -29,16 +29,29 @@ pub fn join_min_partition<S: Simd>(
     outer: &Relation,
     threads: usize,
 ) -> JoinResult {
-    assert!(threads >= 1);
+    join_min_partition_policy(s, vectorized, inner, outer, &ExecPolicy::new(threads)).0
+}
+
+/// [`join_min_partition`] with explicit morsel scheduling, returning
+/// per-worker scheduler stats.
+pub fn join_min_partition_policy<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    policy: &ExecPolicy,
+) -> (JoinResult, SchedulerStats) {
+    let threads = policy.threads;
     let parts = threads;
     let part_fn = HashFn::with_factor(parts, MulHash::nth(2).factor());
     let table_hash = MulHash::nth(0);
 
-    // Phase 1: partition the inner relation by thread.
+    // Phase 1: partition the inner relation into one part per thread (the
+    // pass itself runs morselized).
     let t0 = Instant::now();
     let mut part_k = vec![0u32; inner.len()];
     let mut part_p = vec![0u32; inner.len()];
-    let pass = partition_pass_parallel(
+    let (pass, mut stats) = partition_pass_policy(
         s,
         vectorized,
         part_fn,
@@ -46,76 +59,98 @@ pub fn join_min_partition<S: Simd>(
         &inner.payloads,
         &mut part_k,
         &mut part_p,
-        threads,
+        policy,
     );
     let partition = t0.elapsed();
 
-    // Phase 2: every thread builds its private sub-table; the sub-tables
-    // share one allocation so probes can gather across all of them.
+    // Phase 2: build the private sub-tables — one task per part, stealable
+    // because part sizes are skew-dependent. The sub-tables share one
+    // allocation so probes can gather across all of them.
     let t0 = Instant::now();
     let max_part = pass.hist.iter().copied().max().unwrap_or(0) as usize;
     let tsize = (max_part * 2 + 1).next_multiple_of(2).max(2);
     let table = SharedBuffer::from_vec(vec![EMPTY_PAIR; parts * tsize]);
-    parallel_scope(threads, |ctx| {
-        let t = ctx.thread_id;
-        let start = pass.partition_starts[t] as usize;
-        let end = start + pass.hist[t] as usize;
-        // SAFETY: each thread touches only its own sub-table slice.
+    let build_q = MorselQueue::tasks(parts, threads);
+    let (_, build_stats) = parallel_scope_stats(threads, |ctx| {
+        // SAFETY: each task touches only its own part's sub-table slice,
+        // and every task id is claimed exactly once.
         let view = unsafe { table.view_mut() };
-        let sub = &mut view[t * tsize..(t + 1) * tsize];
-        if vectorized {
-            lp_build_vertical_raw(s, sub, table_hash, &part_k[start..end], &part_p[start..end]);
-        } else {
-            lp_build_scalar_raw(sub, table_hash, &part_k[start..end], &part_p[start..end]);
+        for task in ctx.morsels(&build_q) {
+            ctx.phase("build", || {
+                let p = task.id;
+                let start = pass.partition_starts[p] as usize;
+                let end = start + pass.hist[p] as usize;
+                let sub = &mut view[p * tsize..(p + 1) * tsize];
+                if vectorized {
+                    lp_build_vertical_raw(
+                        s,
+                        sub,
+                        table_hash,
+                        &part_k[start..end],
+                        &part_p[start..end],
+                    );
+                } else {
+                    lp_build_scalar_raw(sub, table_hash, &part_k[start..end], &part_p[start..end]);
+                }
+            });
         }
     });
     let build = t0.elapsed();
+    stats.merge(&build_stats);
 
-    // Phase 3: probe across the T sub-tables.
+    // Phase 3: probe across the T sub-tables, morsel by morsel.
     // SAFETY: the build threads were joined; the table is read-only now.
     let pairs: &[u64] = unsafe { table.view() };
     let t0 = Instant::now();
-    let ranges = chunk_ranges(outer.len(), threads, S::LANES);
-    let sinks = parallel_scope(threads, |ctx| {
-        let r = ranges[ctx.thread_id].clone();
-        let mut sink = JoinSink::with_capacity(r.len());
-        if vectorized {
-            probe_vertical_multi(
-                s,
-                pairs,
-                tsize,
-                part_fn,
-                table_hash,
-                &outer.keys[r.clone()],
-                &outer.payloads[r],
-                &mut sink,
-            );
-        } else {
-            for i in r {
-                let k = outer.keys[i];
-                let p = part_fn.partition(k);
-                lp_probe_one_raw(
-                    &pairs[p * tsize..(p + 1) * tsize],
-                    table_hash,
-                    k,
-                    outer.payloads[i],
-                    0,
-                    &mut sink,
-                );
-            }
+    let probe_q = MorselQueue::new(outer.len(), policy, S::LANES);
+    let (sinks, probe_stats) = parallel_scope_stats(threads, |ctx| {
+        let mut sink = JoinSink::with_capacity(1024);
+        for mo in ctx.morsels(&probe_q) {
+            ctx.phase("probe", || {
+                let r = mo.range.clone();
+                if vectorized {
+                    probe_vertical_multi(
+                        s,
+                        pairs,
+                        tsize,
+                        part_fn,
+                        table_hash,
+                        &outer.keys[r.clone()],
+                        &outer.payloads[r],
+                        &mut sink,
+                    );
+                } else {
+                    for i in r {
+                        let k = outer.keys[i];
+                        let p = part_fn.partition(k);
+                        lp_probe_one_raw(
+                            &pairs[p * tsize..(p + 1) * tsize],
+                            table_hash,
+                            k,
+                            outer.payloads[i],
+                            0,
+                            &mut sink,
+                        );
+                    }
+                }
+            });
         }
         sink
     });
     let probe = t0.elapsed();
+    stats.merge(&probe_stats);
 
-    JoinResult {
-        sinks,
-        timings: JoinTimings {
-            partition,
-            build,
-            probe,
+    (
+        JoinResult {
+            sinks,
+            timings: JoinTimings {
+                partition,
+                build,
+                probe,
+            },
         },
-    }
+        stats,
+    )
 }
 
 /// Vertically vectorized probe across `parts` concatenated sub-tables of

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rsv_data::Relation;
-use rsv_exec::{chunk_ranges, parallel_scope};
+use rsv_exec::{parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats};
 use rsv_hashtab::{
     lp_probe_scalar_raw, lp_probe_vertical_raw, JoinSink, MulHash, EMPTY_KEY, EMPTY_PAIR,
 };
@@ -52,18 +52,33 @@ pub fn join_no_partition<S: Simd>(
     outer: &Relation,
     threads: usize,
 ) -> JoinResult {
-    assert!(threads >= 1);
+    join_no_partition_policy(s, vectorized, inner, outer, &ExecPolicy::new(threads)).0
+}
+
+/// [`join_no_partition`] with explicit morsel scheduling, returning
+/// per-worker scheduler stats.
+pub fn join_no_partition_policy<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    policy: &ExecPolicy,
+) -> (JoinResult, SchedulerStats) {
+    let t = policy.threads;
     let hash = MulHash::nth(0);
     let buckets = (inner.len() * 2).max(inner.len() + 1).max(2);
     let table: Vec<AtomicU64> = (0..buckets).map(|_| AtomicU64::new(EMPTY_PAIR)).collect();
 
-    // Build: threads split the inner relation and insert with CAS.
+    // Build: workers claim inner-relation morsels and insert with CAS.
     let t0 = Instant::now();
-    let build_ranges = chunk_ranges(inner.len(), threads, 1);
-    parallel_scope(threads, |ctx| {
-        let r = build_ranges[ctx.thread_id].clone();
-        for i in r {
-            atomic_insert(&table, hash, inner.keys[i], inner.payloads[i]);
+    let build_q = MorselQueue::new(inner.len(), policy, 1);
+    let (_, mut stats) = parallel_scope_stats(t, |ctx| {
+        for mo in ctx.morsels(&build_q) {
+            ctx.phase("build", || {
+                for i in mo.range.clone() {
+                    atomic_insert(&table, hash, inner.keys[i], inner.payloads[i]);
+                }
+            });
         }
     });
     let build = t0.elapsed();
@@ -74,42 +89,51 @@ pub fn join_no_partition<S: Simd>(
     let pairs: &[u64] =
         unsafe { core::slice::from_raw_parts(table.as_ptr() as *const u64, table.len()) };
 
-    // Probe: threads split the outer relation; no synchronization needed.
+    // Probe: workers claim outer-relation morsels; no synchronization
+    // needed, matches accumulate in per-worker sinks.
     let t0 = Instant::now();
-    let probe_ranges = chunk_ranges(outer.len(), threads, S::LANES);
-    let sinks = parallel_scope(threads, |ctx| {
-        let r = probe_ranges[ctx.thread_id].clone();
-        let mut sink = JoinSink::with_capacity(r.len());
-        if vectorized {
-            lp_probe_vertical_raw(
-                s,
-                pairs,
-                hash,
-                &outer.keys[r.clone()],
-                &outer.payloads[r],
-                &mut sink,
-            );
-        } else {
-            lp_probe_scalar_raw(
-                pairs,
-                hash,
-                &outer.keys[r.clone()],
-                &outer.payloads[r],
-                &mut sink,
-            );
+    let probe_q = MorselQueue::new(outer.len(), policy, S::LANES);
+    let (sinks, probe_stats) = parallel_scope_stats(t, |ctx| {
+        let mut sink = JoinSink::with_capacity(1024);
+        for mo in ctx.morsels(&probe_q) {
+            ctx.phase("probe", || {
+                let r = mo.range.clone();
+                if vectorized {
+                    lp_probe_vertical_raw(
+                        s,
+                        pairs,
+                        hash,
+                        &outer.keys[r.clone()],
+                        &outer.payloads[r],
+                        &mut sink,
+                    );
+                } else {
+                    lp_probe_scalar_raw(
+                        pairs,
+                        hash,
+                        &outer.keys[r.clone()],
+                        &outer.payloads[r],
+                        &mut sink,
+                    );
+                }
+            });
         }
         sink
     });
     let probe = t0.elapsed();
+    stats.merge(&probe_stats);
 
-    JoinResult {
-        sinks,
-        timings: JoinTimings {
-            partition: Default::default(),
-            build,
-            probe,
+    (
+        JoinResult {
+            sinks,
+            timings: JoinTimings {
+                partition: Default::default(),
+                build,
+                probe,
+            },
         },
-    }
+        stats,
+    )
 }
 
 #[cfg(test)]

@@ -1,10 +1,10 @@
 //! Property tests: the three join variants, scalar and vector, agree with
 //! each other and with a `HashMap` reference on arbitrary workloads.
 
-use proptest::prelude::*;
 use rsv_data::Relation;
 use rsv_join::{join_max_partition, join_min_partition, join_no_partition};
 use rsv_simd::Backend;
+use rsv_testkit as tk;
 use std::collections::HashMap;
 
 fn reference(inner: &Relation, outer: &Relation) -> ((u64, u64), usize) {
@@ -24,20 +24,20 @@ fn reference(inner: &Relation, outer: &Relation) -> ((u64, u64), usize) {
     (rsv_data::multiset_fingerprint(rows), n)
 }
 
-fn key_strategy() -> impl Strategy<Value = u32> {
-    // narrow domain to force repeats + misses; avoid the empty sentinel
-    prop_oneof![0u32..64, any::<u32>().prop_map(|k| k % (u32::MAX - 1))]
+/// Keys in a narrow domain to force repeats + misses; avoid the empty
+/// sentinel.
+fn join_keys(rng: &mut tk::Rng, min_len: usize, max_len: usize) -> Vec<u32> {
+    let n = tk::len_in(rng, min_len, max_len);
+    (0..n).map(|_| tk::key_not_sentinel(rng, 64)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn all_variants_match_reference() {
+    tk::check("all_variants_match_reference", 24, 0x1011, |rng| {
+        let inner_keys = join_keys(rng, 1, 150);
+        let outer_keys = join_keys(rng, 0, 300);
+        let threads = 1 + rng.index(3);
 
-    #[test]
-    fn all_variants_match_reference(
-        inner_keys in proptest::collection::vec(key_strategy(), 1..150),
-        outer_keys in proptest::collection::vec(key_strategy(), 0..300),
-        threads in 1usize..4,
-    ) {
         let inner = Relation::with_rid_payloads(inner_keys);
         let outer = Relation::with_rid_payloads(outer_keys);
         let (expected_fp, expected_n) = reference(&inner, &outer);
@@ -45,17 +45,17 @@ proptest! {
         rsv_simd::dispatch!(backend, s => {
             for vectorized in [false, true] {
                 let r = join_no_partition(s, vectorized, &inner, &outer, threads);
-                prop_assert_eq!(r.matches(), expected_n, "no-partition vec={}", vectorized);
-                prop_assert_eq!(r.fingerprint(), expected_fp);
+                assert_eq!(r.matches(), expected_n, "no-partition vec={vectorized}");
+                assert_eq!(r.fingerprint(), expected_fp);
 
                 let r = join_min_partition(s, vectorized, &inner, &outer, threads);
-                prop_assert_eq!(r.matches(), expected_n, "min-partition vec={}", vectorized);
-                prop_assert_eq!(r.fingerprint(), expected_fp);
+                assert_eq!(r.matches(), expected_n, "min-partition vec={vectorized}");
+                assert_eq!(r.fingerprint(), expected_fp);
 
                 let r = join_max_partition(s, vectorized, &inner, &outer, threads);
-                prop_assert_eq!(r.matches(), expected_n, "max-partition vec={}", vectorized);
-                prop_assert_eq!(r.fingerprint(), expected_fp);
+                assert_eq!(r.matches(), expected_n, "max-partition vec={vectorized}");
+                assert_eq!(r.fingerprint(), expected_fp);
             }
         });
-    }
+    });
 }

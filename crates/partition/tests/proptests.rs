@@ -1,6 +1,5 @@
 //! Property tests: partitioning invariants on arbitrary inputs.
 
-use proptest::prelude::*;
 use rsv_partition::histogram::{
     histogram_scalar, histogram_vector_compressed, histogram_vector_replicated,
     histogram_vector_serialized,
@@ -12,93 +11,101 @@ use rsv_partition::shuffle::{
 };
 use rsv_partition::{HashFn, PartitionFn, RadixFn};
 use rsv_simd::Backend;
+use rsv_testkit as tk;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn histograms_agree_on_all_backends() {
+    tk::check("histograms_agree_on_all_backends", 64, 0x9a51, |rng| {
+        let keys = tk::vec_u32(rng, 0, 500);
+        let bits = 1 + rng.index(8) as u32;
+        let shift = rng.index(8) as u32;
 
-    #[test]
-    fn histograms_agree_on_all_backends(
-        keys in proptest::collection::vec(any::<u32>(), 0..500),
-        bits in 1u32..9,
-        shift in 0u32..8,
-    ) {
         let f = RadixFn::new(shift, bits);
         let expected = histogram_scalar(f, &keys);
-        prop_assert_eq!(
+        assert_eq!(
             expected.iter().map(|&c| c as usize).sum::<usize>(),
             keys.len()
         );
         for backend in Backend::all_available() {
             rsv_simd::dispatch!(backend, s => {
-                prop_assert_eq!(&histogram_vector_replicated(s, f, &keys), &expected);
-                prop_assert_eq!(&histogram_vector_serialized(s, f, &keys), &expected);
-                prop_assert_eq!(&histogram_vector_compressed(s, f, &keys), &expected);
+                assert_eq!(&histogram_vector_replicated(s, f, &keys), &expected);
+                assert_eq!(&histogram_vector_serialized(s, f, &keys), &expected);
+                assert_eq!(&histogram_vector_compressed(s, f, &keys), &expected);
             });
         }
-    }
+    });
+}
 
-    #[test]
-    fn shuffles_are_partition_respecting_permutations(
-        keys in proptest::collection::vec(any::<u32>(), 0..600),
-        fanout in 1usize..80,
-    ) {
-        let f = HashFn::new(fanout);
-        let pays: Vec<u32> = (0..keys.len() as u32).collect();
-        let hist = histogram_scalar(f, &keys);
-        let n = keys.len();
-        let input_fp = rsv_data::multiset_fingerprint(keys.iter().zip(&pays));
+#[test]
+fn shuffles_are_partition_respecting_permutations() {
+    tk::check(
+        "shuffles_are_partition_respecting_permutations",
+        64,
+        0x9a52,
+        |rng| {
+            let keys = tk::vec_u32(rng, 0, 600);
+            let fanout = 1 + rng.index(79);
 
-        #[allow(clippy::needless_range_loop)]
-        let check = |ok: &[u32], op: &[u32], base: &[u32], stable: bool, what: &str| {
-            for p in 0..fanout {
-                let start = base[p] as usize;
-                let end = start + hist[p] as usize;
-                for q in start..end {
-                    assert_eq!(f.partition(ok[q]), p, "{what}: tuple at {q}");
-                }
-                if stable {
-                    for w in op[start..end].windows(2) {
-                        assert!(w[0] < w[1], "{what}: partition {p} unstable");
+            let f = HashFn::new(fanout);
+            let pays: Vec<u32> = (0..keys.len() as u32).collect();
+            let hist = histogram_scalar(f, &keys);
+            let n = keys.len();
+            let input_fp = rsv_data::multiset_fingerprint(keys.iter().zip(&pays));
+
+            #[allow(clippy::needless_range_loop)]
+            let check = |ok: &[u32], op: &[u32], base: &[u32], stable: bool, what: &str| {
+                for p in 0..fanout {
+                    let start = base[p] as usize;
+                    let end = start + hist[p] as usize;
+                    for q in start..end {
+                        assert_eq!(f.partition(ok[q]), p, "{what}: tuple at {q}");
+                    }
+                    if stable {
+                        for w in op[start..end].windows(2) {
+                            assert!(w[0] < w[1], "{what}: partition {p} unstable");
+                        }
                     }
                 }
-            }
-            assert_eq!(
-                rsv_data::multiset_fingerprint(ok.iter().zip(op.iter())),
-                input_fp,
-                "{what}: not a permutation"
-            );
-        };
+                assert_eq!(
+                    rsv_data::multiset_fingerprint(ok.iter().zip(op.iter())),
+                    input_fp,
+                    "{what}: not a permutation"
+                );
+            };
 
-        let mut ok = vec![0u32; n];
-        let mut op = vec![0u32; n];
-        let base = shuffle_scalar_buffered(f, &keys, &pays, &hist, &mut ok, &mut op);
-        check(&ok, &op, &base, true, "scalar-buffered");
+            let mut ok = vec![0u32; n];
+            let mut op = vec![0u32; n];
+            let base = shuffle_scalar_buffered(f, &keys, &pays, &hist, &mut ok, &mut op);
+            check(&ok, &op, &base, true, "scalar-buffered");
 
-        let backend = Backend::best();
-        rsv_simd::dispatch!(backend, s => {
-            let base = shuffle_vector_unbuffered(s, f, &keys, &pays, &hist, &mut ok, &mut op);
-            check(&ok, &op, &base, true, "vector-unbuffered");
-            let base = shuffle_vector_buffered(s, f, &keys, &pays, &hist, &mut ok, &mut op);
-            check(&ok, &op, &base, true, "vector-buffered");
-            let base =
-                shuffle_vector_buffered_unstable(s, f, &keys, &pays, &hist, &mut ok, &mut op);
-            check(&ok, &op, &base, false, "vector-buffered-unstable");
-        });
-    }
+            let backend = Backend::best();
+            rsv_simd::dispatch!(backend, s => {
+                let base = shuffle_vector_unbuffered(s, f, &keys, &pays, &hist, &mut ok, &mut op);
+                check(&ok, &op, &base, true, "vector-unbuffered");
+                let base = shuffle_vector_buffered(s, f, &keys, &pays, &hist, &mut ok, &mut op);
+                check(&ok, &op, &base, true, "vector-buffered");
+                let base =
+                    shuffle_vector_buffered_unstable(s, f, &keys, &pays, &hist, &mut ok, &mut op);
+                check(&ok, &op, &base, false, "vector-buffered-unstable");
+            });
+        },
+    );
+}
 
-    #[test]
-    fn range_partitioners_agree(
-        mut splitters in proptest::collection::vec(any::<u32>(), 0..40),
-        keys in proptest::collection::vec(any::<u32>(), 1..200),
-    ) {
+#[test]
+fn range_partitioners_agree() {
+    tk::check("range_partitioners_agree", 64, 0x9a53, |rng| {
+        let mut splitters = tk::vec_u32(rng, 0, 40);
+        let keys = tk::vec_u32(rng, 1, 200);
+
         splitters.sort_unstable();
         let rp = RangePartitioner::new(&splitters);
         let f = rp.range_fn();
         for &k in &keys {
             let expected = splitters.iter().filter(|&&s| s < k).count();
-            prop_assert_eq!(rp.partition_branching(k), expected);
-            prop_assert_eq!(rp.partition_branchless(k), expected);
-            prop_assert_eq!(f.partition(k), expected);
+            assert_eq!(rp.partition_branching(k), expected);
+            assert_eq!(rp.partition_branchless(k), expected);
+            assert_eq!(f.partition(k), expected);
         }
         // vector form over padded chunks
         let backend = Backend::best();
@@ -115,8 +122,8 @@ proptest! {
             }
             for (j, &k) in keys.iter().enumerate().take(i) {
                 let expected = splitters.iter().filter(|&&x| x < k).count();
-                prop_assert_eq!(out[j] as usize, expected, "lane {}", j);
+                assert_eq!(out[j] as usize, expected, "lane {j}");
             }
         });
-    }
+    });
 }

@@ -1,22 +1,23 @@
 //! Property tests: every scan variant equals the scalar branching
 //! reference on arbitrary inputs and predicates, on every backend.
 
-use proptest::prelude::*;
 use rsv_scan::{scan, scan_scalar_branching, ScanPredicate, ScanVariant};
 use rsv_simd::Backend;
+use rsv_testkit as tk;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn all_variants_match_reference() {
+    tk::check("all_variants_match_reference", 128, 0x5ca1, |rng| {
+        let keys = tk::vec_u32(rng, 0, 400);
+        let pays_seed = rng.next_u32();
+        let lower = rng.next_u32();
+        let span = rng.next_u32();
 
-    #[test]
-    fn all_variants_match_reference(
-        keys in proptest::collection::vec(any::<u32>(), 0..400),
-        pays_seed in any::<u32>(),
-        lower in any::<u32>(),
-        span in any::<u32>(),
-    ) {
         let pays: Vec<u32> = (0..keys.len() as u32).map(|i| i ^ pays_seed).collect();
-        let pred = ScanPredicate { lower, upper: lower.saturating_add(span) };
+        let pred = ScanPredicate {
+            lower,
+            upper: lower.saturating_add(span),
+        };
 
         let mut ek = vec![0u32; keys.len() + 1];
         let mut ep = vec![0u32; keys.len() + 1];
@@ -27,51 +28,77 @@ proptest! {
                 let mut gk = vec![0u32; keys.len() + 1];
                 let mut gp = vec![0u32; keys.len() + 1];
                 let g = scan(backend, variant, &keys, &pays, pred, &mut gk, &mut gp);
-                prop_assert_eq!(g, e, "count {} {}", backend.name(), variant.label());
-                prop_assert_eq!(&gk[..g], &ek[..e], "keys {} {}", backend.name(), variant.label());
-                prop_assert_eq!(&gp[..g], &ep[..e], "pays {} {}", backend.name(), variant.label());
+                assert_eq!(g, e, "count {} {}", backend.name(), variant.label());
+                assert_eq!(
+                    &gk[..g],
+                    &ek[..e],
+                    "keys {} {}",
+                    backend.name(),
+                    variant.label()
+                );
+                assert_eq!(
+                    &gp[..g],
+                    &ep[..e],
+                    "pays {} {}",
+                    backend.name(),
+                    variant.label()
+                );
             }
         }
-    }
+    });
+}
 
-    /// Inverting the predicate partitions the input: the qualifier counts
-    /// of `[lo, hi]` and its complement sum to the input size.
-    #[test]
-    fn predicate_complement_partitions_input(
-        keys in proptest::collection::vec(any::<u32>(), 0..300),
-        lower in 1u32..,
-        upper in ..u32::MAX,
-    ) {
-        prop_assume!(lower <= upper);
-        let pays = vec![0u32; keys.len()];
-        let backend = Backend::best();
-        let mut ok = vec![0u32; keys.len() + 1];
-        let mut op = vec![0u32; keys.len() + 1];
-        let inside = scan(
-            backend,
-            ScanVariant::VectorSelStoreIndirect,
-            &keys, &pays,
-            ScanPredicate { lower, upper },
-            &mut ok, &mut op,
-        );
-        let below = scan(
-            backend,
-            ScanVariant::VectorSelStoreIndirect,
-            &keys, &pays,
-            ScanPredicate { lower: 0, upper: lower - 1 },
-            &mut ok, &mut op,
-        );
-        let above = if upper == u32::MAX {
-            0
-        } else {
-            scan(
+/// Inverting the predicate partitions the input: the qualifier counts
+/// of `[lo, hi]` and its complement sum to the input size.
+#[test]
+fn predicate_complement_partitions_input() {
+    tk::check(
+        "predicate_complement_partitions_input",
+        128,
+        0x5ca2,
+        |rng| {
+            let keys = tk::vec_u32(rng, 0, 300);
+            let lower = rng.next_u32().max(1);
+            let upper = lower.max(rng.next_u32().min(u32::MAX - 1));
+
+            let pays = vec![0u32; keys.len()];
+            let backend = Backend::best();
+            let mut ok = vec![0u32; keys.len() + 1];
+            let mut op = vec![0u32; keys.len() + 1];
+            let inside = scan(
                 backend,
                 ScanVariant::VectorSelStoreIndirect,
-                &keys, &pays,
-                ScanPredicate { lower: upper + 1, upper: u32::MAX },
-                &mut ok, &mut op,
-            )
-        };
-        prop_assert_eq!(inside + below + above, keys.len());
-    }
+                &keys,
+                &pays,
+                ScanPredicate { lower, upper },
+                &mut ok,
+                &mut op,
+            );
+            let below = scan(
+                backend,
+                ScanVariant::VectorSelStoreIndirect,
+                &keys,
+                &pays,
+                ScanPredicate {
+                    lower: 0,
+                    upper: lower - 1,
+                },
+                &mut ok,
+                &mut op,
+            );
+            let above = scan(
+                backend,
+                ScanVariant::VectorSelStoreIndirect,
+                &keys,
+                &pays,
+                ScanPredicate {
+                    lower: upper + 1,
+                    upper: u32::MAX,
+                },
+                &mut ok,
+                &mut op,
+            );
+            assert_eq!(inside + below + above, keys.len());
+        },
+    );
 }

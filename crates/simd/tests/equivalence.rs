@@ -2,8 +2,8 @@
 //! equivalent to the portable reference backend of the same width, for
 //! every operation in the `Simd` trait.
 
-use proptest::prelude::*;
 use rsv_simd::{MaskLike, Portable, Simd};
+use rsv_testkit as tk;
 
 /// Fingerprint of running every trait operation on fixed inputs.
 #[derive(Debug, PartialEq)]
@@ -40,6 +40,21 @@ struct Inputs {
     data64: Vec<u64>,
     bytes: Vec<u8>,
     shift: u32,
+}
+
+impl Inputs {
+    fn generate(rng: &mut tk::Rng, w: usize) -> Inputs {
+        Inputs {
+            a: (0..w).map(|_| rng.next_u32()).collect(),
+            b: (0..w).map(|_| rng.next_u32()).collect(),
+            mask_bits: rng.next_u32(),
+            mask_bits2: rng.next_u32(),
+            data32: (0..64).map(|_| rng.next_u32()).collect(),
+            data64: (0..32).map(|_| rng.next_u64()).collect(),
+            bytes: (0..64).map(|_| rng.next_u32() as u8).collect(),
+            shift: rng.index(32) as u32,
+        }
+    }
 }
 
 fn to_vec<S: Simd>(s: S, v: S::V) -> Vec<u32> {
@@ -151,68 +166,48 @@ fn fingerprint_impl<S: Simd>(s: S, input: &Inputs) -> Fingerprint {
     }
 }
 
-fn inputs_strategy(w: usize) -> impl Strategy<Value = Inputs> {
-    (
-        proptest::collection::vec(any::<u32>(), w),
-        proptest::collection::vec(any::<u32>(), w),
-        any::<u32>(),
-        any::<u32>(),
-        proptest::collection::vec(any::<u32>(), 64),
-        proptest::collection::vec(any::<u64>(), 32),
-        proptest::collection::vec(any::<u8>(), 64),
-        0u32..32,
-    )
-        .prop_map(
-            |(a, b, mask_bits, mask_bits2, data32, data64, bytes, shift)| Inputs {
-                a,
-                b,
-                mask_bits,
-                mask_bits2,
-                data32,
-                data64,
-                bytes,
-                shift,
-            },
-        )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[cfg(target_arch = "x86_64")]
-    #[test]
-    fn avx512_matches_portable(input in inputs_strategy(16)) {
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx512_matches_portable() {
+    tk::check("avx512_matches_portable", 512, 0xe951, |rng| {
+        let input = Inputs::generate(rng, 16);
         if let Some(s) = rsv_simd::Avx512::new() {
             let accel = fingerprint(s, &input);
             let reference = fingerprint(Portable::<16>::new(), &input);
-            prop_assert_eq!(accel, reference);
+            assert_eq!(accel, reference);
         }
-    }
+    });
+}
 
-    #[cfg(target_arch = "x86_64")]
-    #[test]
-    fn avx2_matches_portable(input in inputs_strategy(8)) {
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_matches_portable() {
+    tk::check("avx2_matches_portable", 512, 0xe952, |rng| {
+        let input = Inputs::generate(rng, 8);
         if let Some(s) = rsv_simd::Avx2::new() {
             let accel = fingerprint(s, &input);
             let reference = fingerprint(Portable::<8>::new(), &input);
-            prop_assert_eq!(accel, reference);
+            assert_eq!(accel, reference);
         }
-    }
+    });
+}
 
-    /// The portable backend at width 8 must behave like the portable backend
-    /// at width 16 restricted to its first 8 lanes for lane-wise operations.
-    #[test]
-    fn portable_widths_consistent(a in proptest::collection::vec(any::<u32>(), 16),
-                                  b in proptest::collection::vec(any::<u32>(), 16)) {
+/// The portable backend at width 8 must behave like the portable backend
+/// at width 16 restricted to its first 8 lanes for lane-wise operations.
+#[test]
+fn portable_widths_consistent() {
+    tk::check("portable_widths_consistent", 256, 0xe953, |rng| {
+        let a: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let b: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
         let s8 = Portable::<8>::new();
         let s16 = Portable::<16>::new();
         let r8 = to_vec(s8, s8.add(s8.load(&a), s8.load(&b)));
         let r16 = to_vec(s16, s16.add(s16.load(&a), s16.load(&b)));
-        prop_assert_eq!(&r8[..8], &r16[..8]);
+        assert_eq!(&r8[..8], &r16[..8]);
         let h8 = to_vec(s8, s8.mulhi(s8.load(&a), s8.load(&b)));
         let h16 = to_vec(s16, s16.mulhi(s16.load(&a), s16.load(&b)));
-        prop_assert_eq!(&h8[..8], &h16[..8]);
-    }
+        assert_eq!(&h8[..8], &h16[..8]);
+    });
 }
 
 /// Selective store followed by selective load round-trips the active lanes.

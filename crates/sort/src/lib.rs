@@ -4,8 +4,11 @@
 //! bit radixsort is a sequence of *stable* partitioning passes over the
 //! radix of each key, and the paper's fastest method for 32-bit keys. Each
 //! pass runs histogram generation and buffered shuffling — shared-nothing
-//! across threads, interleaving the partition outputs through a global
-//! prefix sum over all threads' histograms.
+//! across morsels claimed from a work-stealing queue (see
+//! [`rsv_exec::MorselQueue`]), interleaving the partition outputs through
+//! a global prefix sum over all morsels' histograms. Because every pass is
+//! stable and keyed by morsel input order, the sorted output is
+//! byte-identical for any thread count and morsel size.
 //!
 //! * [`lsb_radixsort_scalar`] / [`lsb_radixsort_vector`] — key + one
 //!   payload column (the Figure 14 workload), any thread count,
@@ -19,12 +22,13 @@
 
 pub mod multicol;
 
-use rsv_exec::{chunk_ranges, parallel_scope, AlignedVec, SharedBuffer};
-use rsv_partition::histogram::{histogram_scalar, histogram_vector_replicated};
-use rsv_partition::shuffle::{
-    scalar_slots, shuffle_buffer_cleanup, shuffle_scalar_buffered_core,
-    shuffle_vector_buffered_core,
+use rsv_exec::{
+    parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats, SharedBuffer, SlotMap,
+    DEFAULT_MORSEL_TUPLES,
 };
+use rsv_partition::histogram::{histogram_scalar, histogram_vector_replicated};
+use rsv_partition::parallel::{interleaved_offsets, partition_pass_policy};
+use rsv_partition::shuffle::scalar_slots;
 use rsv_partition::{PartitionFn, RadixFn};
 use rsv_simd::Simd;
 
@@ -35,6 +39,9 @@ pub struct SortConfig {
     pub radix_bits: u32,
     /// Worker threads.
     pub threads: usize,
+    /// Tuples per scheduling morsel (`usize::MAX` = the paper's static
+    /// equal split). Does not affect the sorted output.
+    pub morsel_tuples: usize,
 }
 
 impl Default for SortConfig {
@@ -42,6 +49,7 @@ impl Default for SortConfig {
         SortConfig {
             radix_bits: 8,
             threads: 1,
+            morsel_tuples: DEFAULT_MORSEL_TUPLES,
         }
     }
 }
@@ -60,92 +68,10 @@ impl SortConfig {
         let shift = pass * self.radix_bits;
         RadixFn::new(shift, self.radix_bits.min(32 - shift))
     }
-}
 
-/// Per-thread partition start offsets from the interleaved prefix sum of
-/// all threads' histograms: partitions are laid out contiguously, and
-/// within a partition, thread regions follow thread order (which is what
-/// keeps the parallel sort stable).
-fn interleaved_offsets(hists: &[Vec<u32>]) -> Vec<Vec<u32>> {
-    let t = hists.len();
-    let p = hists[0].len();
-    let mut offsets = vec![vec![0u32; p]; t];
-    let mut acc = 0u32;
-    for part in 0..p {
-        for (tid, hist) in hists.iter().enumerate() {
-            offsets[tid][part] = acc;
-            acc += hist[part];
-        }
+    fn policy(&self) -> ExecPolicy {
+        ExecPolicy::new(self.threads).with_morsel_tuples(self.morsel_tuples)
     }
-    offsets
-}
-
-/// One parallel, stable partitioning pass of key/payload pairs.
-#[allow(clippy::too_many_arguments)]
-fn pass_pairs<S: Simd>(
-    s: S,
-    vectorized: bool,
-    f: RadixFn,
-    src_k: &[u32],
-    src_p: &[u32],
-    dst_k: &mut Vec<u32>,
-    dst_p: &mut Vec<u32>,
-    threads: usize,
-) {
-    let n = src_k.len();
-    let ranges = chunk_ranges(n, threads, S::LANES);
-    let hists: Vec<Vec<u32>> = parallel_scope(threads, |ctx| {
-        let r = ranges[ctx.thread_id].clone();
-        if vectorized {
-            histogram_vector_replicated(s, f, &src_k[r])
-        } else {
-            histogram_scalar(f, &src_k[r])
-        }
-    });
-    let bases = interleaved_offsets(&hists);
-
-    let out_k = SharedBuffer::from_vec(std::mem::take(dst_k));
-    let out_p = SharedBuffer::from_vec(std::mem::take(dst_p));
-    parallel_scope(threads, |ctx| {
-        let t = ctx.thread_id;
-        let r = ranges[t].clone();
-        // SAFETY: threads write disjoint output regions derived from the
-        // interleaved prefix sums; the transiently clobbered head lines are
-        // repaired by their owners' cleanup, which runs after the barrier.
-        let (ok, op) = unsafe { (out_k.view_mut(), out_p.view_mut()) };
-        let mut off = bases[t].clone();
-        if vectorized {
-            let mut buf: AlignedVec<u64> = AlignedVec::zeroed(f.fanout() * S::LANES);
-            shuffle_vector_buffered_core(
-                s,
-                f,
-                &src_k[r.clone()],
-                &src_p[r],
-                &mut off,
-                &mut buf,
-                ok,
-                op,
-                true,
-            );
-            ctx.barrier();
-            shuffle_buffer_cleanup(S::LANES, &buf, &bases[t], &off, ok, op);
-        } else {
-            let mut buf: AlignedVec<u64> = AlignedVec::zeroed(f.fanout() * scalar_slots());
-            shuffle_scalar_buffered_core(
-                f,
-                &src_k[r.clone()],
-                &src_p[r],
-                &mut off,
-                &mut buf,
-                ok,
-                op,
-            );
-            ctx.barrier();
-            shuffle_buffer_cleanup(scalar_slots(), &buf, &bases[t], &off, ok, op);
-        }
-    });
-    *dst_k = out_k.into_vec();
-    *dst_p = out_p.into_vec();
 }
 
 fn radixsort_pairs<S: Simd>(
@@ -154,30 +80,27 @@ fn radixsort_pairs<S: Simd>(
     keys: &mut Vec<u32>,
     pays: &mut Vec<u32>,
     cfg: &SortConfig,
-) {
+) -> SchedulerStats {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
     let n = keys.len();
+    let policy = cfg.policy();
+    let mut stats = SchedulerStats::default();
     let mut src_k = std::mem::take(keys);
     let mut src_p = std::mem::take(pays);
     let mut dst_k = vec![0u32; n];
     let mut dst_p = vec![0u32; n];
     for pass in 0..cfg.passes() {
         let f = cfg.pass_fn(pass);
-        pass_pairs(
-            s,
-            vectorized,
-            f,
-            &src_k,
-            &src_p,
-            &mut dst_k,
-            &mut dst_p,
-            cfg.threads,
+        let (_, pass_stats) = partition_pass_policy(
+            s, vectorized, f, &src_k, &src_p, &mut dst_k, &mut dst_p, &policy,
         );
+        stats.merge(&pass_stats);
         std::mem::swap(&mut src_k, &mut dst_k);
         std::mem::swap(&mut src_p, &mut dst_p);
     }
     *keys = src_k;
     *pays = src_p;
+    stats
 }
 
 /// Scalar parallel LSB radixsort of `(key, payload)` pairs (stable).
@@ -195,42 +118,101 @@ pub fn lsb_radixsort_vector<S: Simd>(
     radixsort_pairs(s, true, keys, pays, cfg);
 }
 
-/// One parallel stable partitioning pass of a key column only.
+/// [`lsb_radixsort_vector`], returning per-worker scheduler stats
+/// accumulated over every radix pass.
+pub fn lsb_radixsort_vector_stats<S: Simd>(
+    s: S,
+    keys: &mut Vec<u32>,
+    pays: &mut Vec<u32>,
+    cfg: &SortConfig,
+) -> SchedulerStats {
+    radixsort_pairs(s, true, keys, pays, cfg)
+}
+
+/// One parallel stable partitioning pass of a key column only, morselized
+/// exactly like [`rsv_partition::parallel::partition_pass_policy`]: per-
+/// morsel histograms and staging buffers keyed by morsel id, interleaved
+/// offsets in morsel (= input) order, and a barrier before the per-morsel
+/// cleanup tasks.
 fn pass_keys<S: Simd>(
     s: S,
     vectorized: bool,
     f: RadixFn,
     src_k: &[u32],
     dst_k: &mut Vec<u32>,
-    threads: usize,
-) {
+    policy: &ExecPolicy,
+) -> SchedulerStats {
     let n = src_k.len();
-    let ranges = chunk_ranges(n, threads, S::LANES);
-    let hists: Vec<Vec<u32>> = parallel_scope(threads, |ctx| {
-        let r = ranges[ctx.thread_id].clone();
-        if vectorized {
-            histogram_vector_replicated(s, f, &src_k[r])
-        } else {
-            histogram_scalar(f, &src_k[r])
+    let t = policy.threads;
+
+    let hist_q = MorselQueue::new(n, policy, S::LANES);
+    let m = hist_q.morsel_count();
+    let hist_slots: SlotMap<Vec<u32>> = SlotMap::new(m);
+    let (_, mut stats) = parallel_scope_stats(t, |ctx| {
+        for mo in ctx.morsels(&hist_q) {
+            let h = ctx.phase("histogram", || {
+                let ks = &src_k[mo.range.clone()];
+                if vectorized {
+                    histogram_vector_replicated(s, f, ks)
+                } else {
+                    histogram_scalar(f, ks)
+                }
+            });
+            // SAFETY: each morsel id is claimed exactly once.
+            unsafe { hist_slots.put(mo.id, h) };
         }
     });
+    let mut hists: Vec<Vec<u32>> = hist_slots
+        .into_values()
+        .into_iter()
+        .map(|h| h.expect("every morsel histogrammed"))
+        .collect();
+    if hists.is_empty() {
+        // empty input: zero morsels, but the offsets below need one region
+        hists.push(vec![0u32; f.fanout()]);
+    }
     let bases = interleaved_offsets(&hists);
 
+    let shuffle_q = MorselQueue::new(n, policy, S::LANES);
+    let cleanup_q = MorselQueue::tasks(m, t);
+    let staged: SlotMap<(Vec<u32>, Vec<u32>)> = SlotMap::new(m);
+    let slots = if vectorized { S::LANES } else { scalar_slots() };
     let out_k = SharedBuffer::from_vec(std::mem::take(dst_k));
-    parallel_scope(threads, |ctx| {
-        let t = ctx.thread_id;
-        let r = ranges[t].clone();
-        // SAFETY: as in `pass_pairs`: disjoint regions + barrier-ordered
-        // cleanup repair.
+    let (_, shuffle_stats) = parallel_scope_stats(t, |ctx| {
+        // SAFETY: morsels write disjoint regions from the interleaved
+        // prefix sums; transiently clobbered first lines are repaired by
+        // their owning morsels' cleanup after the barrier (see the safety
+        // note on `partition_pass_policy`).
         let ok = unsafe { out_k.view_mut() };
-        let mut off = bases[t].clone();
-        let slots = if vectorized { S::LANES } else { scalar_slots() };
-        let mut buf = vec![0u32; f.fanout() * slots];
-        keys_buffered_core(s, vectorized, f, &src_k[r], &mut off, &mut buf, ok);
+        for mo in ctx.morsels(&shuffle_q) {
+            ctx.phase("shuffle", || {
+                let mut off = bases[mo.id].clone();
+                let mut buf = vec![0u32; f.fanout() * slots];
+                keys_buffered_core(
+                    s,
+                    vectorized,
+                    f,
+                    &src_k[mo.range.clone()],
+                    &mut off,
+                    &mut buf,
+                    ok,
+                );
+                // SAFETY: one writer per morsel id, read after the barrier.
+                unsafe { staged.put(mo.id, (buf, off)) };
+            });
+        }
         ctx.barrier();
-        keys_buffer_cleanup(slots, &buf, &bases[t], &off, ok);
+        for task in ctx.morsels(&cleanup_q) {
+            ctx.phase("cleanup", || {
+                // SAFETY: all writers crossed the barrier above.
+                let (buf, off) = unsafe { staged.get(task.id) };
+                keys_buffer_cleanup(slots, buf, &bases[task.id], off, ok);
+            });
+        }
     });
+    stats.merge(&shuffle_stats);
     *dst_k = out_k.into_vec();
+    stats
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -328,16 +310,24 @@ fn keys_buffer_cleanup(slots: usize, buf: &[u32], base: &[u32], off: &[u32], out
     }
 }
 
-fn radixsort_keys<S: Simd>(s: S, vectorized: bool, keys: &mut Vec<u32>, cfg: &SortConfig) {
+fn radixsort_keys<S: Simd>(
+    s: S,
+    vectorized: bool,
+    keys: &mut Vec<u32>,
+    cfg: &SortConfig,
+) -> SchedulerStats {
     let n = keys.len();
+    let policy = cfg.policy();
+    let mut stats = SchedulerStats::default();
     let mut src = std::mem::take(keys);
     let mut dst = vec![0u32; n];
     for pass in 0..cfg.passes() {
         let f = cfg.pass_fn(pass);
-        pass_keys(s, vectorized, f, &src, &mut dst, cfg.threads);
+        stats.merge(&pass_keys(s, vectorized, f, &src, &mut dst, &policy));
         std::mem::swap(&mut src, &mut dst);
     }
     *keys = src;
+    stats
 }
 
 /// Scalar parallel LSB radixsort of a key column.
@@ -412,7 +402,7 @@ mod tests {
                 &mut p,
                 &SortConfig {
                     radix_bits: bits,
-                    threads: 1,
+                    ..SortConfig::default()
                 },
             );
             check_sorted_pairs(&k, &p, &keys);
@@ -439,6 +429,7 @@ mod tests {
                 &SortConfig {
                     radix_bits: 8,
                     threads,
+                    ..SortConfig::default()
                 },
             );
             check_sorted_pairs(&k, &p, &keys);
@@ -450,6 +441,7 @@ mod tests {
                 &SortConfig {
                     radix_bits: 8,
                     threads,
+                    ..SortConfig::default()
                 },
             );
             check_sorted_pairs(&ks, &ps, &keys);
@@ -471,6 +463,7 @@ mod tests {
                     &SortConfig {
                         radix_bits: 8,
                         threads,
+                        ..SortConfig::default()
                     },
                 );
                 assert_eq!(k, expected, "vector n={n} threads={threads}");
@@ -480,9 +473,51 @@ mod tests {
                     &SortConfig {
                         radix_bits: 8,
                         threads,
+                        ..SortConfig::default()
                     },
                 );
                 assert_eq!(k, expected, "scalar n={n} threads={threads}");
+            }
+        }
+    }
+
+    /// Sorted output must be byte-identical for any thread count and
+    /// morsel size, and the stats must account for every scheduled tuple.
+    #[test]
+    fn sort_schedule_independent() {
+        let s = Portable::<16>::new();
+        let (keys, pays) = workload(25_000, 117);
+        let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
+        for threads in [1usize, 2, 3, 8] {
+            for morsel in [1024usize, DEFAULT_MORSEL_TUPLES, usize::MAX] {
+                let cfg = SortConfig {
+                    radix_bits: 8,
+                    threads,
+                    morsel_tuples: morsel,
+                };
+                let mut k = keys.clone();
+                let mut p = pays.clone();
+                let stats = lsb_radixsort_vector_stats(s, &mut k, &mut p, &cfg);
+                // 4 passes at 8 bits, each scheduling every tuple through
+                // the histogram and shuffle queues (cleanup tasks add a
+                // few more scheduling units on top)
+                assert!(stats.total_tuples() >= 4 * 2 * keys.len() as u64);
+                match &reference {
+                    None => reference = Some((k, p)),
+                    Some((rk, rp)) => {
+                        assert_eq!(&k, rk, "keys differ at t={threads} morsel={morsel}");
+                        assert_eq!(&p, rp, "pays differ at t={threads} morsel={morsel}");
+                    }
+                }
+                let mut ko = keys.clone();
+                radixsort_keys(s, true, &mut ko, &cfg);
+                let r = reference.as_ref().unwrap();
+                let mut expect = r.0.clone();
+                expect.sort_unstable();
+                assert_eq!(
+                    ko, expect,
+                    "key-only differs at t={threads} morsel={morsel}"
+                );
             }
         }
     }
@@ -501,6 +536,7 @@ mod tests {
                 &SortConfig {
                     radix_bits: 8,
                     threads: 2,
+                    ..SortConfig::default()
                 },
             );
             check_sorted_pairs(&k, &p, &keys);
@@ -515,6 +551,7 @@ mod tests {
                 &SortConfig {
                     radix_bits: 8,
                     threads: 2,
+                    ..SortConfig::default()
                 },
             );
             check_sorted_pairs(&k, &p, &keys);

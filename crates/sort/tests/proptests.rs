@@ -1,21 +1,23 @@
 //! Property tests: radixsort equals `sort_unstable` and is stable, for
 //! arbitrary inputs, radix widths, and thread counts.
 
-use proptest::prelude::*;
 use rsv_simd::Backend;
 use rsv_sort::multicol::{lsb_radixsort_multicol, PayloadColumn};
 use rsv_sort::{lsb_radixsort_keys_vector, lsb_radixsort_scalar, lsb_radixsort_vector, SortConfig};
+use rsv_testkit as tk;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn sorts_arbitrary_inputs() {
+    tk::check("sorts_arbitrary_inputs", 48, 0x5027, |rng| {
+        let keys = tk::vec_u32(rng, 0, 800);
+        let bits = [4u32, 8, 11][rng.index(3)];
+        let threads = 1 + rng.index(3);
 
-    #[test]
-    fn sorts_arbitrary_inputs(
-        keys in proptest::collection::vec(any::<u32>(), 0..800),
-        bits in prop_oneof![Just(4u32), Just(8), Just(11)],
-        threads in 1usize..4,
-    ) {
-        let cfg = SortConfig { radix_bits: bits, threads };
+        let cfg = SortConfig {
+            radix_bits: bits,
+            threads,
+            ..SortConfig::default()
+        };
         let pays: Vec<u32> = (0..keys.len() as u32).collect();
         let mut expected = keys.clone();
         expected.sort_unstable();
@@ -23,27 +25,28 @@ proptest! {
         let mut k = keys.clone();
         let mut p = pays.clone();
         lsb_radixsort_scalar(&mut k, &mut p, &cfg);
-        prop_assert_eq!(&k, &expected, "scalar keys");
-        check_stable(&keys, &k, &p)?;
+        assert_eq!(&k, &expected, "scalar keys");
+        check_stable(&keys, &k, &p);
 
         let backend = Backend::best();
         rsv_simd::dispatch!(backend, s => {
             let mut k = keys.clone();
             let mut p = pays.clone();
             lsb_radixsort_vector(s, &mut k, &mut p, &cfg);
-            prop_assert_eq!(&k, &expected, "vector keys");
-            check_stable(&keys, &k, &p)?;
+            assert_eq!(&k, &expected, "vector keys");
+            check_stable(&keys, &k, &p);
 
             let mut k = keys.clone();
             lsb_radixsort_keys_vector(s, &mut k, &cfg);
-            prop_assert_eq!(&k, &expected, "key-only");
+            assert_eq!(&k, &expected, "key-only");
         });
-    }
+    });
+}
 
-    #[test]
-    fn multicol_sort_keeps_rows(
-        keys in proptest::collection::vec(any::<u32>(), 0..400),
-    ) {
+#[test]
+fn multicol_sort_keeps_rows() {
+    tk::check("multicol_sort_keeps_rows", 48, 0x5028, |rng| {
+        let keys = tk::vec_u32(rng, 0, 400);
         let n = keys.len();
         let c8: Vec<u8> = (0..n).map(|i| i as u8).collect();
         let c64: Vec<u64> = keys.iter().map(|&k| u64::from(k) ^ 0xABCD).collect();
@@ -58,7 +61,7 @@ proptest! {
         rsv_simd::dispatch!(backend, s => {
             lsb_radixsort_multicol(s, &mut k, &mut cols, &SortConfig::default());
         });
-        prop_assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        assert!(k.windows(2).all(|w| w[0] <= w[1]));
         let (PayloadColumn::U8(o8), PayloadColumn::U32(orid), PayloadColumn::U64(o64)) =
             (&cols[0], &cols[1], &cols[2])
         else {
@@ -66,25 +69,20 @@ proptest! {
         };
         for i in 0..n {
             let orig = orid[i] as usize;
-            prop_assert_eq!(keys[orig], k[i]);
-            prop_assert_eq!(c8[orig], o8[i]);
-            prop_assert_eq!(c64[orig], o64[i]);
+            assert_eq!(keys[orig], k[i]);
+            assert_eq!(c8[orig], o8[i]);
+            assert_eq!(c64[orig], o64[i]);
         }
-    }
+    });
 }
 
-fn check_stable(
-    orig_keys: &[u32],
-    sorted_keys: &[u32],
-    sorted_pays: &[u32],
-) -> Result<(), TestCaseError> {
+fn check_stable(orig_keys: &[u32], sorted_keys: &[u32], sorted_pays: &[u32]) {
     for (i, (&k, &p)) in sorted_keys.iter().zip(sorted_pays).enumerate() {
-        prop_assert_eq!(orig_keys[p as usize], k, "tuple broken at {}", i);
+        assert_eq!(orig_keys[p as usize], k, "tuple broken at {i}");
     }
     for w in sorted_keys.windows(2).zip(sorted_pays.windows(2)) {
         if w.0[0] == w.0[1] {
-            prop_assert!(w.1[0] < w.1[1], "not stable");
+            assert!(w.1[0] < w.1[1], "not stable");
         }
     }
-    Ok(())
 }

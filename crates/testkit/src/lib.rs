@@ -1,0 +1,129 @@
+//! A minimal, dependency-free property-testing harness.
+//!
+//! The original test suites used the `proptest` crate; this build
+//! environment has no network access to crates.io, so the suites run on
+//! this tiny seeded-random harness instead. It keeps the two properties
+//! that matter for these tests:
+//!
+//! * **many random cases** per property, generated from the repository's
+//!   own deterministic [`Rng`],
+//! * **reproducibility**: a failing case prints its case seed, and
+//!   [`check_one`] replays exactly that case.
+//!
+//! There is no shrinking — inputs here are small enough to debug directly.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use rsv_data::Rng;
+
+/// Run `prop` on `cases` generated inputs derived from `seed`.
+///
+/// Each case gets an independent RNG stream, so inserting or removing
+/// cases never perturbs later ones. On panic, the offending case seed is
+/// reported so the failure can be replayed with [`check_one`].
+pub fn check<F>(name: &str, cases: u64, seed: u64, mut prop: F)
+where
+    F: FnMut(&mut Rng),
+{
+    for case in 0..cases {
+        let case_seed = case_seed(seed, case);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (replay: check_one(\"{name}\", {case_seed:#x}, ..))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Replay a single case by its reported case seed.
+pub fn check_one<F>(name: &str, case_seed: u64, mut prop: F)
+where
+    F: FnMut(&mut Rng),
+{
+    let mut rng = Rng::seed_from_u64(case_seed);
+    eprintln!("replaying property `{name}` case seed {case_seed:#x}");
+    prop(&mut rng);
+}
+
+/// The derived seed for one case of a property.
+fn case_seed(seed: u64, case: u64) -> u64 {
+    // splitmix-style mix so adjacent (seed, case) pairs decorrelate
+    let mut z = seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A `Vec<u32>` of uniform keys with random length in `[min_len, max_len)`.
+pub fn vec_u32(rng: &mut Rng, min_len: usize, max_len: usize) -> Vec<u32> {
+    let n = len_in(rng, min_len, max_len);
+    (0..n).map(|_| rng.next_u32()).collect()
+}
+
+/// A `Vec<u32>` with every element drawn from `[0, domain)`.
+pub fn vec_u32_in(rng: &mut Rng, min_len: usize, max_len: usize, domain: u32) -> Vec<u32> {
+    let n = len_in(rng, min_len, max_len);
+    (0..n)
+        .map(|_| rng.below(u64::from(domain)) as u32)
+        .collect()
+}
+
+/// A random length in `[min_len, max_len)`, biased toward interesting
+/// boundaries (empty, one element, vector-width multiples ±1).
+pub fn len_in(rng: &mut Rng, min_len: usize, max_len: usize) -> usize {
+    assert!(min_len < max_len);
+    if rng.f64() < 0.25 {
+        let boundary: Vec<usize> = [0usize, 1, 15, 16, 17, 31, 32, 33]
+            .into_iter()
+            .filter(|&b| b >= min_len && b < max_len)
+            .collect();
+        if !boundary.is_empty() {
+            return boundary[rng.index(boundary.len())];
+        }
+    }
+    min_len + rng.index(max_len - min_len)
+}
+
+/// A key avoiding the hash tables' empty sentinel (`u32::MAX`), drawn from
+/// a narrow domain half the time (to force repeats and collisions).
+pub fn key_not_sentinel(rng: &mut Rng, narrow: u32) -> u32 {
+    if rng.f64() < 0.5 {
+        rng.below(u64::from(narrow)) as u32
+    } else {
+        rng.next_u32() % (u32::MAX - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut first = Vec::new();
+        check("record", 5, 42, |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        check("record", 5, 42, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let n = len_in(&mut rng, 3, 50);
+            assert!((3..50).contains(&n), "{n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        check("boom", 3, 1, |_| panic!("boom"));
+    }
+}

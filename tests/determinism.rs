@@ -1,0 +1,111 @@
+//! Scheduler-determinism harness: every `Engine` operator must produce
+//! byte-identical output for every thread count and morsel size.
+//!
+//! The morsel-driven scheduler keys all intermediate state (histograms,
+//! staging buffers, qualifier runs) to *morsel ids* in input order, never
+//! to worker ids, so the claim schedule — which workers ran which morsels,
+//! and in what interleaving — must be unobservable in the results. Join
+//! results are canonicalized by sorting rows first: vectorized probing is
+//! inherently unstable in row order, but the row *multiset* must match.
+
+use rethinking_simd::{data, exec::DEFAULT_MORSEL_TUPLES, Engine, JoinVariant, Relation};
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+const MORSELS: [usize; 3] = [1024, DEFAULT_MORSEL_TUPLES, usize::MAX];
+
+/// Run `op` under every schedule and assert all results are identical.
+fn assert_schedule_independent<T: PartialEq + std::fmt::Debug>(
+    label: &str,
+    mut op: impl FnMut(Engine) -> T,
+) {
+    let mut reference: Option<T> = None;
+    for threads in THREADS {
+        for morsel in MORSELS {
+            let engine = Engine::new()
+                .with_threads(threads)
+                .with_morsel_tuples(morsel);
+            let got = op(engine);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(
+                        &got, want,
+                        "{label}: output differs at threads={threads} morsel={morsel}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn workload(n: usize, seed: u64) -> Relation {
+    let mut rng = data::rng(seed);
+    Relation::with_rid_payloads(data::uniform_u32(n, &mut rng))
+}
+
+#[test]
+fn select_is_schedule_independent() {
+    let rel = workload(120_000, 501);
+    let (lo, hi) = data::selection_bounds(0.3);
+    assert_schedule_independent("select", |e| {
+        let out = e.select(&rel, lo, hi);
+        (out.keys, out.payloads)
+    });
+}
+
+#[test]
+fn bloom_semijoin_is_schedule_independent() {
+    let mut rng = data::rng(502);
+    let pool = data::unique_u32(60_000, &mut rng);
+    let rel = Relation::with_rid_payloads(pool[20_000..].to_vec());
+    let filter_keys = &pool[..30_000];
+    assert_schedule_independent("bloom_semijoin", |e| {
+        let out = e.bloom_semijoin(&rel, filter_keys);
+        (out.keys, out.payloads)
+    });
+}
+
+#[test]
+fn sort_is_schedule_independent() {
+    let rel = workload(150_000, 503);
+    assert_schedule_independent("sort", |e| {
+        let mut r = rel.clone();
+        e.sort(&mut r);
+        (r.keys, r.payloads)
+    });
+}
+
+#[test]
+fn hash_partition_is_schedule_independent() {
+    let rel = workload(100_000, 504);
+    assert_schedule_independent("hash_partition", |e| {
+        let (out, starts) = e.hash_partition(&rel, 64);
+        (out.keys, out.payloads, starts)
+    });
+}
+
+#[test]
+fn group_by_sum_is_schedule_independent() {
+    let mut rng = data::rng(505);
+    let keys: Vec<u32> = data::uniform_u32(80_000, &mut rng)
+        .iter()
+        .map(|k| k % 2_000)
+        .collect();
+    let rel = Relation::new(keys, data::uniform_u32(80_000, &mut rng));
+    assert_schedule_independent("group_by_sum", |e| e.group_by_sum(&rel, 2_000));
+}
+
+#[test]
+fn hash_join_variants_are_schedule_independent() {
+    let mut rng = data::rng(506);
+    let w = data::join_workload(20_000, 60_000, 1.5, 0.7, &mut rng);
+    for variant in JoinVariant::ALL {
+        assert_schedule_independent(variant.label(), |e| {
+            let r = e.hash_join_variant(&w.inner, &w.outer, variant);
+            // canonicalize: vectorized probing has no stable row order
+            let mut rows: Vec<(u32, u32, u32)> = r.sinks.iter().flat_map(|s| s.iter()).collect();
+            rows.sort_unstable();
+            rows
+        });
+    }
+}

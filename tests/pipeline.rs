@@ -71,6 +71,67 @@ fn all_join_variants_produce_identical_results() {
 }
 
 #[test]
+fn group_by_sum_matches_scalar_reference() {
+    let mut rng = data::rng(404);
+    let keys: Vec<u32> = data::uniform_u32(50_000, &mut rng)
+        .iter()
+        .map(|k| k % 1_000)
+        .collect();
+    let pays = data::uniform_u32(50_000, &mut rng);
+    let rel = Relation::new(keys, pays);
+
+    let mut expected: std::collections::BTreeMap<u32, (u32, u64)> = Default::default();
+    for (k, v) in rel.iter() {
+        let e = expected.entry(k).or_default();
+        e.0 += 1;
+        e.1 += u64::from(v);
+    }
+    let expected: Vec<(u32, u32, u64)> =
+        expected.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
+
+    for threads in [1usize, 3] {
+        let engine = Engine::new().with_threads(threads);
+        let rows = engine.group_by_sum(&rel, 1_000);
+        assert_eq!(rows, expected, "threads={threads}");
+        assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "not sorted by key"
+        );
+    }
+}
+
+#[test]
+fn hash_partition_matches_scalar_reference() {
+    let mut rng = data::rng(405);
+    let rel = Relation::with_rid_payloads(data::uniform_u32(40_000, &mut rng));
+    let fanout = 32usize;
+
+    for threads in [1usize, 3] {
+        let engine = Engine::new().with_threads(threads);
+        // the scalar reference: a stable bucket sort by partition id
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); fanout];
+        for (k, p) in rel.iter() {
+            buckets[engine.hash_partition_of(k, fanout)].push((k, p));
+        }
+        let mut expected_keys = Vec::with_capacity(rel.len());
+        let mut expected_pays = Vec::with_capacity(rel.len());
+        let mut expected_starts = Vec::with_capacity(fanout);
+        for b in &buckets {
+            expected_starts.push(expected_keys.len() as u32);
+            for &(k, p) in b {
+                expected_keys.push(k);
+                expected_pays.push(p);
+            }
+        }
+
+        let (out, starts) = engine.hash_partition(&rel, fanout);
+        assert_eq!(starts, expected_starts, "threads={threads}");
+        assert_eq!(out.keys, expected_keys, "threads={threads}");
+        assert_eq!(out.payloads, expected_pays, "threads={threads}");
+    }
+}
+
+#[test]
 fn sort_after_join_groups_keys() {
     let (facts, dims) = build_workload(403);
     let engine = Engine::new();
