@@ -58,8 +58,13 @@ pub fn bench(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Million tuples per second.
+/// Million tuples per second. A zero-duration measurement yields `NaN`
+/// (not `inf`), which [`record`] serializes as JSON `null` instead of an
+/// unparseable `inf` row.
 pub fn mtps(tuples: usize, secs: f64) -> f64 {
+    if secs == 0.0 {
+        return f64::NAN;
+    }
     tuples as f64 / secs / 1e6
 }
 

@@ -1,0 +1,56 @@
+//! Differential-harness registration for the Bloom-filter probes.
+//!
+//! The vectorized probe retires lanes out of input order, so both sides
+//! canonicalize to the sorted qualifier multiset. Bloom semantics (false
+//! positives, never false negatives) are still differential-testable:
+//! for a fixed filter the qualifier *set* is a pure function of the bit
+//! array, so every probe implementation must agree exactly.
+
+use crate::BloomFilter;
+use rsv_simd::{dispatch, Backend};
+use rsv_testkit::diff::{canonical_pairs, CaseInput, DiffOp, Kernel, Registry};
+use rsv_testkit::Rng;
+
+/// The case's filter, parameterized (bits per item, hash count) from the
+/// case seed so the reference and kernels agree.
+fn filter(input: &CaseInput) -> BloomFilter {
+    let mut rng = Rng::seed_from_u64(input.seed ^ 0x424C_4F4F);
+    let bits_per_item = 2 + rng.index(14);
+    let k = 1 + rng.index(4);
+    let mut f = BloomFilter::new(input.build_keys.len(), bits_per_item, k);
+    f.build(&input.build_keys);
+    f
+}
+
+fn reference(input: &CaseInput) -> Vec<u8> {
+    let f = filter(input);
+    let n = input.keys.len();
+    let mut ok = vec![0u32; n];
+    let mut op = vec![0u32; n];
+    let c = f.probe_scalar(&input.keys, &input.pays, &mut ok, &mut op);
+    canonical_pairs(&ok[..c], &op[..c])
+}
+
+fn run_vector(backend: Backend, _threads: usize, input: &CaseInput) -> Vec<u8> {
+    let f = filter(input);
+    let n = input.keys.len();
+    // vector-width slack: the kernel stores whole vectors selectively
+    let mut ok = vec![0u32; n + 64];
+    let mut op = vec![0u32; n + 64];
+    let c =
+        dispatch!(backend, s => { f.probe_vector(s, &input.keys, &input.pays, &mut ok, &mut op) });
+    canonical_pairs(&ok[..c], &op[..c])
+}
+
+/// Register the Bloom-filter probe operator.
+pub fn register(r: &mut Registry) {
+    r.register(DiffOp {
+        name: "bloom-probe",
+        reference,
+        kernels: vec![Kernel {
+            name: "probe-vector",
+            threaded: false,
+            run: run_vector,
+        }],
+    });
+}

@@ -14,6 +14,8 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod diff;
+
 use rsv_simd::{MaskLike, Simd};
 
 /// Maximum vector width any backend exposes (for stack lane buffers).

@@ -1,0 +1,152 @@
+//! Explicit tail-handling coverage: every scan variant, histogram
+//! variant, and the buffered shuffles run on inputs of length
+//! `{0, 1, W−1, W+1, 2W+3}` for each available backend's vector width
+//! `W`, compared against the scalar reference. These are the lengths
+//! where a kernel's main loop does zero or one full vector and the
+//! remainder drains through the tail path.
+
+use rsv_partition::histogram::{
+    histogram_scalar, histogram_vector_compressed, histogram_vector_replicated,
+    histogram_vector_serialized,
+};
+use rsv_partition::shuffle::{
+    shuffle_scalar_buffered, shuffle_scalar_unbuffered, shuffle_vector_buffered,
+    shuffle_vector_unbuffered,
+};
+use rsv_partition::RadixFn;
+use rsv_scan::{scan, ScanPredicate, ScanVariant};
+use rsv_simd::{dispatch, Backend};
+
+/// `{0, 1, W−1, W+1, 2W+3}` for vector width `w`.
+fn tail_lens(w: usize) -> [usize; 5] {
+    [0, 1, w - 1, w + 1, 2 * w + 3]
+}
+
+/// A deterministic sentinel-free key column.
+fn keys_of_len(n: usize) -> Vec<u32> {
+    let mut rng = rsv_data::rng(0x7A11 + n as u64);
+    rsv_data::uniform_u32(n, &mut rng)
+}
+
+#[test]
+fn scan_variants_handle_tails() {
+    for backend in Backend::all_available() {
+        for n in tail_lens(backend.lanes()) {
+            let keys = keys_of_len(n);
+            let pays: Vec<u32> = (0..n as u32).collect();
+            let pred = ScanPredicate {
+                lower: u32::MAX / 4,
+                upper: u32::MAX / 4 * 3,
+            };
+            let mut rk = vec![0u32; n];
+            let mut rp = vec![0u32; n];
+            let rc = scan(
+                backend,
+                ScanVariant::ScalarBranching,
+                &keys,
+                &pays,
+                pred,
+                &mut rk,
+                &mut rp,
+            );
+            for variant in ScanVariant::ALL {
+                let mut ok = vec![0u32; n];
+                let mut op = vec![0u32; n];
+                let c = scan(backend, variant, &keys, &pays, pred, &mut ok, &mut op);
+                assert_eq!(c, rc, "{} len {n} {}", backend.name(), variant.label());
+                assert_eq!(
+                    ok[..c],
+                    rk[..rc],
+                    "{} len {n} {}",
+                    backend.name(),
+                    variant.label()
+                );
+                assert_eq!(
+                    op[..c],
+                    rp[..rc],
+                    "{} len {n} {}",
+                    backend.name(),
+                    variant.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_variants_handle_tails() {
+    let f = RadixFn::new(26, 6);
+    for backend in Backend::all_available() {
+        for n in tail_lens(backend.lanes()) {
+            let keys = keys_of_len(n);
+            let expected = histogram_scalar(f, &keys);
+            dispatch!(backend, s => {
+                assert_eq!(
+                    histogram_vector_replicated(s, f, &keys),
+                    expected,
+                    "replicated {} len {n}",
+                    backend.name()
+                );
+                assert_eq!(
+                    histogram_vector_serialized(s, f, &keys),
+                    expected,
+                    "serialized {} len {n}",
+                    backend.name()
+                );
+                assert_eq!(
+                    histogram_vector_compressed(s, f, &keys),
+                    expected,
+                    "compressed {} len {n}",
+                    backend.name()
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn buffered_shuffles_handle_tails() {
+    let f = RadixFn::new(28, 4);
+    for backend in Backend::all_available() {
+        for n in tail_lens(backend.lanes()) {
+            let keys = keys_of_len(n);
+            let pays: Vec<u32> = (0..n as u32).collect();
+            let hist = histogram_scalar(f, &keys);
+
+            let mut rk = vec![0u32; n];
+            let mut rp = vec![0u32; n];
+            let base = shuffle_scalar_unbuffered(f, &keys, &pays, &hist, &mut rk, &mut rp);
+
+            let mut sk = vec![0u32; n];
+            let mut sp = vec![0u32; n];
+            let sb = shuffle_scalar_buffered(f, &keys, &pays, &hist, &mut sk, &mut sp);
+            assert_eq!(
+                (&sb, &sk, &sp),
+                (&base, &rk, &rp),
+                "scalar-buffered len {n}"
+            );
+
+            dispatch!(backend, s => {
+                let mut uk = vec![0u32; n];
+                let mut up = vec![0u32; n];
+                let ub = shuffle_vector_unbuffered(s, f, &keys, &pays, &hist, &mut uk, &mut up);
+                assert_eq!(
+                    (&ub, &uk, &up),
+                    (&base, &rk, &rp),
+                    "vector-unbuffered {} len {n}",
+                    backend.name()
+                );
+
+                let mut bk = vec![0u32; n];
+                let mut bp = vec![0u32; n];
+                let bb = shuffle_vector_buffered(s, f, &keys, &pays, &hist, &mut bk, &mut bp);
+                assert_eq!(
+                    (&bb, &bk, &bp),
+                    (&base, &rk, &rp),
+                    "vector-buffered {} len {n}",
+                    backend.name()
+                );
+            });
+        }
+    }
+}

@@ -3,42 +3,77 @@
 use crate::relation::Relation;
 use crate::Rng;
 
-/// `n` uniformly distributed 32-bit keys (duplicates possible).
-pub fn uniform_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
-    (0..n).map(|_| rng.next_u32()).collect()
+/// Remap the reserved hash-table sentinel `u32::MAX` to `0`.
+///
+/// Every generator in this module guarantees sentinel-free output:
+/// `u32::MAX` is the hash tables' `EMPTY_KEY`, and feeding it into a
+/// downstream build panics. `v % u32::MAX` is the identity on every other
+/// value, so only draws of exactly `u32::MAX` (probability 2⁻³²) are
+/// redirected.
+#[inline]
+fn avoid_sentinel(v: u32) -> u32 {
+    v % u32::MAX
 }
 
-/// `n` *distinct* 32-bit keys in random order.
+/// `n` uniformly distributed 32-bit keys (duplicates possible), never the
+/// reserved `u32::MAX` sentinel.
+pub fn uniform_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
+    (0..n).map(|_| avoid_sentinel(rng.next_u32())).collect()
+}
+
+/// `n` *distinct* 32-bit keys in random order, never the reserved
+/// `u32::MAX` sentinel.
 ///
 /// Uses a keyed Feistel-style bijection over `u32`, so arbitrarily large
-/// `n` needs no duplicate-rejection bookkeeping.
+/// `n` needs no duplicate-rejection bookkeeping. If the sentinel falls
+/// inside the drawn prefix of the permutation it is swapped for the next
+/// value *outside* the prefix (which the bijection guarantees is fresh).
 ///
 /// # Panics
-/// If `n > u32::MAX as usize + 1`.
+/// If `n > u32::MAX as usize` (all 2³² values would have to include the
+/// sentinel).
 pub fn unique_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
-    assert!(
-        n <= u32::MAX as usize + 1,
-        "cannot draw more than 2^32 distinct u32 keys"
-    );
     let k0: u32 = rng.next_u32() | 1; // odd multipliers are invertible mod 2^32
     let k1: u32 = rng.next_u32() | 1;
     let x0: u32 = rng.next_u32();
     let x1: u32 = rng.next_u32();
-    (0..n as u64)
-        .map(|i| {
-            // Each step is a bijection on u32, so the composition is too.
-            let mut v = i as u32;
-            v = v.wrapping_mul(k0);
-            v ^= x0;
-            v = v.rotate_left(13);
-            v = v.wrapping_mul(k1);
-            v ^= x1;
-            v
-        })
-        .collect()
+    unique_u32_with_keys(n, k0, k1, x0, x1)
 }
 
-/// Zipf-distributed keys over the domain `0..domain` with exponent `theta`.
+/// One step of the keyed bijection behind [`unique_u32`]. Each operation
+/// is itself a bijection on `u32`, so the composition is too.
+#[inline]
+fn feistel(i: u32, k0: u32, k1: u32, x0: u32, x1: u32) -> u32 {
+    let mut v = i;
+    v = v.wrapping_mul(k0);
+    v ^= x0;
+    v = v.rotate_left(13);
+    v = v.wrapping_mul(k1);
+    v ^= x1;
+    v
+}
+
+/// [`unique_u32`] with explicit bijection keys (exposed for the sentinel
+/// substitution test, which crafts keys placing `u32::MAX` in the prefix).
+pub(crate) fn unique_u32_with_keys(n: usize, k0: u32, k1: u32, x0: u32, x1: u32) -> Vec<u32> {
+    assert!(
+        n <= u32::MAX as usize,
+        "cannot draw more than 2^32 - 1 distinct sentinel-free u32 keys"
+    );
+    let mut keys: Vec<u32> = (0..n as u64)
+        .map(|i| feistel(i as u32, k0, k1, x0, x1))
+        .collect();
+    if let Some(p) = keys.iter().position(|&k| k == u32::MAX) {
+        // index n is outside the prefix, so its value is unused; it also
+        // cannot be u32::MAX, which the bijection placed at index p < n.
+        keys[p] = feistel(n as u32, k0, k1, x0, x1);
+    }
+    keys
+}
+
+/// Zipf-distributed keys over the domain `0..domain` with exponent `theta`
+/// (sentinel-free by construction: the largest emitted key is
+/// `domain − 1 ≤ u32::MAX − 1`).
 ///
 /// The paper notes that joins, partitioning, and sorting are *faster* under
 /// skew; this generator exists to exercise that claim in tests and the
@@ -187,6 +222,42 @@ pub fn join_workload(
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn no_generator_emits_the_empty_sentinel() {
+        // the remap itself
+        assert_eq!(avoid_sentinel(u32::MAX), 0);
+        assert_eq!(avoid_sentinel(u32::MAX - 1), u32::MAX - 1);
+        assert_eq!(avoid_sentinel(0), 0);
+        // and the generators (probabilistic, plus the zipf bound)
+        let mut rng = crate::rng(99);
+        assert!(!uniform_u32(100_000, &mut rng).contains(&u32::MAX));
+        assert!(!unique_u32(100_000, &mut rng).contains(&u32::MAX));
+        assert!(zipf_u32(10_000, u32::MAX, 1.0, &mut rng)
+            .iter()
+            .all(|&k| k < u32::MAX));
+        let w = join_workload(1_000, 5_000, 2.0, 0.5, &mut rng);
+        assert!(!w.inner.keys.contains(&u32::MAX));
+        assert!(!w.outer.keys.contains(&u32::MAX));
+    }
+
+    #[test]
+    fn unique_substitutes_the_sentinel_in_prefix() {
+        // Craft bijection keys so index 0 maps exactly to u32::MAX:
+        // feistel(0) = rot13(x0) * k1 ^ x1, so pick x1 accordingly.
+        let (k0, k1, x0) = (0x9E37_79B1u32 | 1, 0x85EB_CA77u32 | 1, 0xDEAD_BEEFu32);
+        let pre = x0.rotate_left(13).wrapping_mul(k1);
+        let x1 = pre ^ u32::MAX;
+        assert_eq!(feistel(0, k0, k1, x0, x1), u32::MAX);
+        let n = 64;
+        let keys = unique_u32_with_keys(n, k0, k1, x0, x1);
+        assert_eq!(keys.len(), n);
+        assert!(!keys.contains(&u32::MAX), "sentinel must be substituted");
+        // the substitute is the first out-of-prefix permutation value
+        assert_eq!(keys[0], feistel(n as u32, k0, k1, x0, x1));
+        let set: HashSet<u32> = keys.iter().copied().collect();
+        assert_eq!(set.len(), n, "substitution must preserve distinctness");
+    }
 
     #[test]
     fn unique_keys_are_unique() {

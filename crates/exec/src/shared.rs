@@ -11,6 +11,10 @@ use core::cell::UnsafeCell;
 /// splitting, so workers obtain raw mutable views with
 /// [`SharedBuffer::view_mut`], whose contract they must uphold.
 pub struct SharedBuffer<T: Copy> {
+    /// Element count, duplicated outside the `UnsafeCell` so `len()` and
+    /// `is_empty()` never read through the cell while workers hold
+    /// `view_mut` views (the buffer is never resized while shared).
+    len: usize,
     data: UnsafeCell<Vec<T>>,
 }
 
@@ -21,9 +25,7 @@ unsafe impl<T: Copy + Send> Sync for SharedBuffer<T> {}
 impl<T: Copy + Default> SharedBuffer<T> {
     /// A zero-initialized shared buffer of `len` elements.
     pub fn zeroed(len: usize) -> Self {
-        SharedBuffer {
-            data: UnsafeCell::new(vec![T::default(); len]),
-        }
+        Self::from_vec(vec![T::default(); len])
     }
 }
 
@@ -31,15 +33,16 @@ impl<T: Copy> SharedBuffer<T> {
     /// Wrap an existing vector.
     pub fn from_vec(v: Vec<T>) -> Self {
         SharedBuffer {
+            len: v.len(),
             data: UnsafeCell::new(v),
         }
     }
 
-    /// Number of elements.
+    /// Number of elements. Always safe to call: the length lives in a
+    /// plain field written at construction, so it never aliases the cell
+    /// contents that concurrent workers may be writing.
     pub fn len(&self) -> usize {
-        // SAFETY: reading the length field races with nothing (the Vec
-        // itself is never resized while shared).
-        unsafe { (*self.data.get()).len() }
+        self.len
     }
 
     /// `true` if the buffer is empty.
@@ -82,6 +85,10 @@ impl<T: Copy> SharedBuffer<T> {
 /// buffers, match counts) keyed by *morsel id* rather than worker id, which
 /// is what makes their output independent of the claim schedule.
 pub struct SlotMap<T> {
+    /// Slot count, duplicated outside the `UnsafeCell` for the same
+    /// reason as [`SharedBuffer::len`]: `len()` must not alias slots that
+    /// workers are concurrently filling.
+    len: usize,
     slots: UnsafeCell<Vec<Option<T>>>,
 }
 
@@ -93,14 +100,14 @@ impl<T> SlotMap<T> {
     /// `len` empty slots.
     pub fn new(len: usize) -> SlotMap<T> {
         SlotMap {
+            len,
             slots: UnsafeCell::new((0..len).map(|_| None).collect()),
         }
     }
 
-    /// Number of slots.
+    /// Number of slots (a plain field — never reads through the cell).
     pub fn len(&self) -> usize {
-        // SAFETY: the Vec is never resized while shared.
-        unsafe { (*self.slots.get()).len() }
+        self.len
     }
 
     /// `true` if the map has no slots.

@@ -38,8 +38,16 @@ pub fn time_n<R>(n: usize, mut f: impl FnMut() -> R) -> Timed<R> {
 
 /// Throughput in million tuples per second, the unit of almost every figure
 /// in the paper ("billion tuples / second" axes are just this / 1000).
-pub fn throughput_mtps(tuples: usize, elapsed: Duration) -> f64 {
-    tuples as f64 / elapsed.as_secs_f64() / 1e6
+///
+/// Returns `None` for zero-duration runs (timer granularity can round a
+/// trivial measurement down to zero): the alternative, `inf`, has no JSON
+/// representation and used to leave unparseable rows in `results.jsonl`.
+/// Callers should skip the row or emit `null`.
+pub fn throughput_mtps(tuples: usize, elapsed: Duration) -> Option<f64> {
+    if elapsed.is_zero() {
+        return None;
+    }
+    Some(tuples as f64 / elapsed.as_secs_f64() / 1e6)
 }
 
 #[cfg(test)]
@@ -66,9 +74,15 @@ mod tests {
 
     #[test]
     fn throughput_units() {
-        let mtps = throughput_mtps(2_000_000, Duration::from_secs(1));
+        let mtps = throughput_mtps(2_000_000, Duration::from_secs(1)).unwrap();
         assert!((mtps - 2.0).abs() < 1e-9);
-        let mtps = throughput_mtps(1_000_000, Duration::from_millis(500));
+        let mtps = throughput_mtps(1_000_000, Duration::from_millis(500)).unwrap();
         assert!((mtps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_yields_no_throughput() {
+        assert_eq!(throughput_mtps(1_000_000, Duration::ZERO), None);
+        assert_eq!(throughput_mtps(0, Duration::ZERO), None);
     }
 }

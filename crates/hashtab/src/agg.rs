@@ -16,11 +16,34 @@ use crate::{bucket_count, MulHash, EMPTY_KEY};
 /// Maximum vector width any backend exposes (for stack lane buffers).
 const MAX_LANES: usize = 32;
 
+/// The error returned by [`GroupAggTable::try_update`] when inserting a
+/// new group would saturate the table (no empty bucket would remain, so a
+/// later probe for a missing key could never terminate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggTableFull;
+
+impl std::fmt::Display for AggTableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "aggregation table is full")
+    }
+}
+
+impl std::error::Error for AggTableFull {}
+
 /// An aggregation hash table: per group key, `COUNT(*)` and `SUM(value)`.
 ///
 /// Keys live in their own array; counts and 64-bit sums are stored as two
 /// parallel 32-bit arrays (`sum_lo`, `sum_hi`) so the vectorized path can
 /// do the 64-bit addition with 32-bit lanes and an explicit carry.
+///
+/// # Saturation
+///
+/// Linear probing needs at least one empty bucket to terminate a probe
+/// for a missing key, so the table never fills past `buckets − 1` groups.
+/// [`GroupAggTable::update`] (and the vectorized kernel) *grow* the table
+/// — doubling the bucket array and rehashing — before that point is
+/// reached; [`GroupAggTable::try_update`] instead reports saturation as
+/// [`AggTableFull`] for callers that sized the table deliberately.
 #[derive(Debug, Clone)]
 pub struct GroupAggTable {
     keys: Vec<u32>,
@@ -56,8 +79,25 @@ impl GroupAggTable {
         self.keys.len()
     }
 
-    /// Update one tuple with scalar code.
+    /// Update one tuple with scalar code, growing the table if a new
+    /// group would otherwise saturate it.
     pub fn update(&mut self, key: u32, value: u32) {
+        while self.try_update(key, value).is_err() {
+            self.grow();
+        }
+    }
+
+    /// Update one tuple, refusing (rather than growing) when a new group
+    /// would leave no empty bucket.
+    ///
+    /// The probe loop always terminates: the table keeps the invariant
+    /// `groups ≤ buckets − 1` (at least one empty bucket), and a probe
+    /// that would break it returns [`AggTableFull`] *before* inserting.
+    ///
+    /// # Errors
+    /// [`AggTableFull`] if `key` is a new group and `groups + 1` would
+    /// reach the bucket count. Existing groups always update.
+    pub fn try_update(&mut self, key: u32, value: u32) -> Result<(), AggTableFull> {
         assert_ne!(
             key, EMPTY_KEY,
             "key {key:#x} is the reserved empty sentinel"
@@ -70,7 +110,9 @@ impl GroupAggTable {
                 break;
             }
             if k == EMPTY_KEY {
-                assert!(self.groups + 1 < t, "aggregation table is full");
+                if self.groups + 1 >= t {
+                    return Err(AggTableFull);
+                }
                 self.keys[h] = key;
                 self.groups += 1;
                 break;
@@ -84,6 +126,32 @@ impl GroupAggTable {
         let (lo, carry) = self.sum_lo[h].overflowing_add(value);
         self.sum_lo[h] = lo;
         self.sum_hi[h] += u32::from(carry);
+        Ok(())
+    }
+
+    /// Double the bucket array and rehash every group.
+    fn grow(&mut self) {
+        let new_buckets = (self.keys.len() * 2).max(4);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_buckets]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; new_buckets]);
+        let old_lo = std::mem::replace(&mut self.sum_lo, vec![0; new_buckets]);
+        let old_hi = std::mem::replace(&mut self.sum_hi, vec![0; new_buckets]);
+        for (i, &k) in old_keys.iter().enumerate() {
+            if k == EMPTY_KEY {
+                continue;
+            }
+            let mut h = self.hash.bucket(k, new_buckets);
+            while self.keys[h] != EMPTY_KEY {
+                h += 1;
+                if h == new_buckets {
+                    h = 0;
+                }
+            }
+            self.keys[h] = k;
+            self.counts[h] = old_counts[i];
+            self.sum_lo[h] = old_lo[i];
+            self.sum_hi[h] = old_hi[i];
+        }
     }
 
     /// Aggregate whole columns with scalar code.
@@ -112,10 +180,10 @@ impl GroupAggTable {
     fn update_vector_impl<S: Simd>(&mut self, s: S, keys: &[u32], values: &[u32]) {
         let w = S::LANES;
         let n = keys.len();
-        let t = self.keys.len();
+        let mut t = self.keys.len();
         debug_assert!(!keys.contains(&EMPTY_KEY), "empty-sentinel key in input");
         let f = s.splat(self.hash.factor());
-        let tn = s.splat(t as u32);
+        let mut tn = s.splat(t as u32);
         let empty = s.splat(EMPTY_KEY);
         let one = s.splat(1);
         let lane_ids = s.iota();
@@ -125,6 +193,18 @@ impl GroupAggTable {
         let mut m = S::M::all(); // lanes to refill
         let mut i = 0usize;
         while i + w <= n {
+            // Grow *between* vectors when a full vector of new groups
+            // could saturate the table (`groups + W + 1 > buckets` would
+            // break the one-empty-bucket probe-termination invariant).
+            // In-flight lanes have not updated anything yet, so resetting
+            // their probe offsets and re-probing the rehashed table is
+            // safe.
+            while self.groups + w + 1 >= t {
+                self.grow();
+                t = self.keys.len();
+                tn = s.splat(t as u32);
+                o = s.zero();
+            }
             k = s.selective_load(k, m, &keys[i..]);
             v = s.selective_load(v, m, &values[i..]);
             i += m.count();
@@ -140,7 +220,8 @@ impl GroupAggTable {
                 let won = empt.and(s.cmpeq(back, lane_ids));
                 s.scatter_masked(&mut self.keys, won, h, k);
                 self.groups += won.count();
-                assert!(self.groups < t, "aggregation table is full");
+                // the loop-top grow guard keeps at least one empty bucket
+                debug_assert!(self.groups + 1 < t, "saturation guard failed");
                 // losers must retry (their o stays; bucket now occupied)
             }
             // Re-read bucket keys (claims may have just landed).
@@ -275,6 +356,61 @@ mod tests {
         assert_eq!(m[&1], (5, 45));
         assert_eq!(m[&2], (4, 4));
         assert_eq!(m[&3], (1, 7));
+    }
+
+    /// Regression: pre-fix, a full table died on an `assert!` deep in the
+    /// probe loop (and with the assert removed the probe would spin
+    /// forever). With `groups == buckets − 1` the scalar and vector paths
+    /// must terminate — growing for `update`, `Err` for `try_update`.
+    #[test]
+    fn saturated_table_updates_terminate() {
+        let mut t = GroupAggTable::new(6, 0.9);
+        let buckets = t.buckets();
+        // fill to exactly buckets − 1 groups (one empty bucket left)
+        for k in 0..buckets as u32 - 1 {
+            t.update(k, 1);
+        }
+        assert_eq!(t.groups(), buckets - 1);
+        assert_eq!(t.buckets(), buckets, "filling must not grow yet");
+        // an existing group still updates without growing
+        assert_eq!(t.try_update(0, 1), Ok(()));
+        // a new group is refused by try_update (terminates, no insert) …
+        assert_eq!(t.try_update(buckets as u32, 1), Err(AggTableFull));
+        assert_eq!(t.groups(), buckets - 1);
+        // … and absorbed by update via growth
+        t.update(buckets as u32, 7);
+        assert!(t.buckets() > buckets, "update must grow at saturation");
+        assert_eq!(t.groups(), buckets);
+        let m = collect(&t);
+        assert_eq!(m[&0], (2, 2));
+        assert_eq!(m[&(buckets as u32)], (1, 7));
+    }
+
+    #[test]
+    fn vector_path_grows_at_saturation() {
+        let s = Portable::<16>::new();
+        // 4-bucket table, 300 distinct keys: the kernel must grow many
+        // times and still aggregate exactly.
+        let keys: Vec<u32> = (0..300u32).flat_map(|k| [k, k]).collect();
+        let values: Vec<u32> = (0..600u32).collect();
+        let mut t = GroupAggTable::new(2, 0.5);
+        t.update_vector(s, &keys, &values);
+        assert_eq!(collect(&t), reference(&keys, &values));
+        assert_eq!(t.groups(), 300);
+    }
+
+    #[test]
+    fn growth_preserves_aggregates() {
+        let mut rng = rsv_data::rng(74);
+        let keys: Vec<u32> = rsv_data::uniform_u32(3000, &mut rng)
+            .iter()
+            .map(|k| k % 512)
+            .collect();
+        let values = rsv_data::uniform_u32(3000, &mut rng);
+        // deliberately undersized: starts at ~4 buckets
+        let mut t = GroupAggTable::new(2, 0.5);
+        t.update_scalar(&keys, &values);
+        assert_eq!(collect(&t), reference(&keys, &values));
     }
 
     #[cfg(target_arch = "x86_64")]

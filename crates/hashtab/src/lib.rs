@@ -25,11 +25,12 @@
 
 mod agg;
 mod cuckoo;
+pub mod diff;
 mod horizontal;
 mod linear;
 mod sink;
 
-pub use agg::GroupAggTable;
+pub use agg::{AggTableFull, GroupAggTable};
 pub use cuckoo::{CuckooBuildError, CuckooTable};
 pub use horizontal::{BucketScheme, BucketizedCuckoo, BucketizedTable};
 pub use linear::{

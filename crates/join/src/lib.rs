@@ -18,6 +18,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod diff;
 mod max_partition;
 mod min_partition;
 mod no_partition;

@@ -24,6 +24,7 @@
 #![warn(clippy::all)]
 
 pub mod conflict;
+pub mod diff;
 pub mod histogram;
 pub mod multicol;
 pub mod parallel;

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod diff;
 mod parallel;
 mod scalar;
 mod vector;

@@ -43,21 +43,23 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// The fastest backend available on this CPU.
+    /// The fastest backend available on this CPU (respecting
+    /// [`Backend::forced`]).
     pub fn best() -> Backend {
-        #[cfg(target_arch = "x86_64")]
-        {
-            if let Some(s) = Avx512::new() {
-                return Backend::Avx512(s);
-            }
-            if let Some(s) = Avx2::new() {
-                return Backend::Avx2(s);
-            }
-        }
-        Backend::Portable(Portable::new())
+        Self::all_available()[0]
     }
 
     /// Every backend available on this CPU, fastest first.
+    ///
+    /// When the `RSV_FORCE_BACKEND` environment variable names a backend
+    /// (`avx512`, `avx2` or `portable`), only that backend is returned —
+    /// the CI lane that forces `portable` uses this to make every
+    /// cross-backend test exercise the 16-lane portable code paths on
+    /// runners without AVX-512.
+    ///
+    /// # Panics
+    /// If `RSV_FORCE_BACKEND` names a backend this CPU does not support
+    /// (a silent fallback would defeat the forcing).
     pub fn all_available() -> Vec<Backend> {
         let mut v = Vec::new();
         #[cfg(target_arch = "x86_64")]
@@ -70,7 +72,26 @@ impl Backend {
             }
         }
         v.push(Backend::Portable(Portable::new()));
+        if let Some(name) = Self::forced() {
+            v.retain(|b| b.name() == name);
+            assert!(
+                !v.is_empty(),
+                "RSV_FORCE_BACKEND={name} is not available on this CPU"
+            );
+        }
         v
+    }
+
+    /// The backend name forced via `RSV_FORCE_BACKEND`, if any.
+    pub fn forced() -> Option<&'static str> {
+        use std::sync::OnceLock;
+        static FORCED: OnceLock<Option<String>> = OnceLock::new();
+        FORCED
+            .get_or_init(|| match std::env::var("RSV_FORCE_BACKEND") {
+                Ok(s) if !s.is_empty() => Some(s.to_ascii_lowercase()),
+                _ => None,
+            })
+            .as_deref()
     }
 
     /// Human-readable name.

@@ -20,6 +20,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod diff;
 pub mod multicol;
 
 use rsv_exec::{

@@ -1,0 +1,211 @@
+//! Adversarial input generation for the differential fuzz harness.
+//!
+//! Every [`CaseInput`] field is derived deterministically from a single
+//! case seed, biased hard toward the inputs that historically break
+//! vectorized database kernels:
+//!
+//! * **tail lengths** — empty, one element, `W − 1`, `W`, `W + 1`,
+//!   `2W + 3` for both the 8-lane (AVX2) and 16-lane (AVX-512/portable)
+//!   widths, so partial-vector drains run on every backend,
+//! * **all-duplicate keys** — maximal lane conflicts in histograms,
+//!   shuffles and aggregation,
+//! * **sentinel-adjacent keys** — values bordering the hash tables'
+//!   reserved `EMPTY_KEY = u32::MAX`, probing for off-by-one sentinel
+//!   comparisons,
+//! * **near-saturation capacities** — hash tables sized barely above
+//!   their content, stressing probe-loop termination,
+//! * **Zipf-skewed keys** — the paper's skew experiments (§10, Fig. 16),
+//! * **max-fanout radix** — partition fanouts up to `2¹²`.
+
+use crate::diff::CaseInput;
+use rsv_data::Rng;
+
+/// Boundary lengths for 8- and 16-lane widths: `{0, 1, W−1, W, W+1, 2W+3}`.
+pub const BOUNDARY_LENS: [usize; 11] = [0, 1, 7, 8, 9, 15, 16, 17, 19, 35, 67];
+
+/// Largest generated input column (kept small: the harness multiplies
+/// cases by kernels × backends × thread counts).
+pub const MAX_LEN: usize = 3_000;
+
+/// The key distributions the generator draws from.
+#[derive(Debug, Clone, Copy)]
+enum KeyDist {
+    /// Uniform over the full sentinel-free domain.
+    Uniform,
+    /// A domain of `1..=16` values — all-duplicate when the domain is 1.
+    Narrow(u32),
+    /// Keys adjacent to the reserved `EMPTY_KEY` sentinel.
+    SentinelAdjacent,
+    /// Zipf-skewed over a moderate domain.
+    Zipf(u32),
+    /// Consecutive keys from a random start (sorted-ish inputs).
+    Sequential,
+}
+
+fn pick_dist(rng: &mut Rng) -> KeyDist {
+    match rng.below(10) {
+        0..=2 => KeyDist::Uniform,
+        3 | 4 => KeyDist::Narrow(1 + rng.below(16) as u32),
+        5 | 6 => KeyDist::SentinelAdjacent,
+        7 | 8 => KeyDist::Zipf(100 + rng.below(900) as u32),
+        _ => KeyDist::Sequential,
+    }
+}
+
+fn draw_keys(rng: &mut Rng, n: usize, dist: KeyDist) -> Vec<u32> {
+    match dist {
+        KeyDist::Uniform => rsv_data::uniform_u32(n, rng),
+        KeyDist::Narrow(domain) => (0..n)
+            .map(|_| rng.below(u64::from(domain)) as u32)
+            .collect(),
+        KeyDist::SentinelAdjacent => (0..n).map(|_| u32::MAX - 1 - rng.below(4) as u32).collect(),
+        KeyDist::Zipf(domain) => rsv_data::zipf_u32(n, domain, 1.0, rng),
+        KeyDist::Sequential => {
+            let start = rng.next_u32() % (u32::MAX - MAX_LEN as u32 - 1);
+            (0..n as u32).map(|i| start + i).collect()
+        }
+    }
+}
+
+/// A length biased toward the vector-width boundaries.
+fn pick_len(rng: &mut Rng, max: usize) -> usize {
+    if rng.f64() < 0.4 {
+        BOUNDARY_LENS[rng.index(BOUNDARY_LENS.len())]
+    } else {
+        rng.index(max)
+    }
+}
+
+/// Generate the [`CaseInput`] for one case seed. Deterministic: the same
+/// seed always yields the same case, which is what makes the
+/// `RSV_DIFF_SEED` replay line work.
+pub fn case_input(seed: u64) -> CaseInput {
+    let mut rng = Rng::seed_from_u64(seed);
+
+    let n = pick_len(&mut rng, MAX_LEN);
+    let dist = pick_dist(&mut rng);
+    let keys = draw_keys(&mut rng, n, dist);
+    // payloads are row ids half the time (stability checks read them),
+    // random otherwise
+    let pays: Vec<u32> = if rng.f64() < 0.5 {
+        (0..n as u32).collect()
+    } else {
+        rsv_data::uniform_u32(n, &mut rng)
+    };
+
+    // Build side: duplicate-free (cuckoo tables cannot hold 3+ copies of
+    // one key), non-empty so tables always have content to probe.
+    let nb = pick_len(&mut rng, 700).max(1);
+    let build_keys = match pick_dist(&mut rng) {
+        // unique regardless of the distribution die: dedup a narrow draw
+        KeyDist::SentinelAdjacent => {
+            let mut ks: Vec<u32> = (0..nb.min(8)).map(|i| u32::MAX - 1 - i as u32).collect();
+            ks.truncate(nb);
+            ks
+        }
+        _ => rsv_data::unique_u32(nb, &mut rng),
+    };
+    let build_pays: Vec<u32> = (0..build_keys.len() as u32).collect();
+
+    // Selection bounds: endpoints of the selectivity sweep plus random.
+    let selectivity = match rng.below(5) {
+        0 => 0.0,
+        1 => 0.01,
+        2 => 0.5,
+        3 => 1.0,
+        _ => rng.f64(),
+    };
+    let bounds = rsv_data::selection_bounds(selectivity);
+
+    // Fanout: powers of two up to the max-fanout radix case, odd values
+    // for hash/range partitioning.
+    let fanout = match rng.below(6) {
+        0 => 1,
+        1 => 1 << 12, // max-fanout radix
+        2 => 1 + rng.below(7) as usize,
+        3 => 64,
+        4 => 256,
+        _ => 2 + rng.below(500) as usize,
+    };
+
+    // Capacity: near-saturation a third of the time (exactly the build
+    // size at a load factor close to 1), comfortable otherwise.
+    let (capacity, load_factor) = match rng.below(3) {
+        0 => (build_keys.len(), 0.98), // near-saturation
+        1 => (build_keys.len(), 0.5),
+        _ => (build_keys.len() + rng.below(64) as usize, 0.7),
+    };
+
+    CaseInput {
+        seed,
+        keys,
+        pays,
+        build_keys,
+        build_pays,
+        bounds,
+        fanout,
+        capacity,
+        load_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = case_input(0xDEAD_BEEF);
+        let b = case_input(0xDEAD_BEEF);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.build_keys, b.build_keys);
+        assert_eq!(a.fanout, b.fanout);
+        assert_eq!(a.bounds, b.bounds);
+    }
+
+    #[test]
+    fn cases_never_emit_the_sentinel() {
+        for seed in 0..500u64 {
+            let c = case_input(seed);
+            assert!(!c.keys.contains(&u32::MAX), "seed {seed}");
+            assert!(!c.build_keys.contains(&u32::MAX), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn build_keys_are_unique_and_nonempty() {
+        for seed in 0..200u64 {
+            let c = case_input(seed);
+            assert!(!c.build_keys.is_empty(), "seed {seed}");
+            let mut sorted = c.build_keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), c.build_keys.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generator_covers_the_adversarial_classes() {
+        let mut saw_empty = false;
+        let mut saw_boundary = false;
+        let mut saw_dup = false;
+        let mut saw_sentinel_adjacent = false;
+        let mut saw_max_fanout = false;
+        let mut saw_saturation = false;
+        for seed in 0..500u64 {
+            let c = case_input(seed);
+            saw_empty |= c.keys.is_empty();
+            saw_boundary |= [7, 9, 15, 17, 35].contains(&c.keys.len());
+            saw_dup |= c.keys.len() > 8 && c.keys.iter().all(|&k| k == c.keys[0]);
+            saw_sentinel_adjacent |= c.keys.contains(&(u32::MAX - 1));
+            saw_max_fanout |= c.fanout == 1 << 12;
+            saw_saturation |= c.load_factor > 0.95;
+        }
+        assert!(saw_empty, "no empty input generated");
+        assert!(saw_boundary, "no W±1 boundary length generated");
+        assert!(saw_dup, "no all-duplicate input generated");
+        assert!(saw_sentinel_adjacent, "no sentinel-adjacent input");
+        assert!(saw_max_fanout, "no max-fanout radix case");
+        assert!(saw_saturation, "no near-saturation capacity");
+    }
+}

@@ -1,0 +1,379 @@
+//! Differential cross-backend fuzzing.
+//!
+//! The correctness story of this reproduction rests on three SIMD
+//! backends and a scalar reference per operator. This module is the
+//! machinery that compares them *automatically*: every operator crate
+//! registers a [`DiffOp`] — a scalar reference plus its vector/parallel
+//! kernels — and [`run_registry`] executes each registered kernel over
+//! adversarial inputs (see [`crate::arbitrary`]) across every available
+//! backend × thread count, asserting **byte-identical** canonical output.
+//!
+//! A failure prints a single environment-variable incantation that
+//! replays exactly the offending case:
+//!
+//! ```text
+//! RSV_DIFF_OP=histogram-radix RSV_DIFF_SEED=0x4a3f21c09e55ab17 \
+//!     cargo test --test differential -- --nocapture
+//! ```
+//!
+//! Knobs (all environment variables):
+//!
+//! * `RSV_DIFF_SEED` — replay one case seed (hex with `0x` or decimal),
+//! * `RSV_DIFF_OP` — run only ops whose name contains this substring,
+//! * `RSV_DIFF_CASES` — cases per op (default [`DEFAULT_CASES`]),
+//! * `RSV_DIFF_THREADS` — comma-separated thread counts (default `1,2,8`),
+//! * `RSV_FORCE_BACKEND` — restrict backends (handled by
+//!   [`Backend::all_available`]).
+
+use rsv_simd::Backend;
+
+/// Default fuzz cases per registered operator.
+pub const DEFAULT_CASES: u64 = 24;
+
+/// Default worker thread counts for kernels that declare
+/// [`Kernel::threaded`].
+pub const DEFAULT_THREADS: [usize; 3] = [1, 2, 8];
+
+/// One generated differential-test case (see [`crate::arbitrary::case_input`]).
+///
+/// Every field is derived deterministically from `seed`; registrations
+/// that need extra parameters (radix shifts, selectivities, …) derive
+/// them from `seed` too, so the reference and every kernel see the same
+/// case.
+#[derive(Debug, Clone)]
+pub struct CaseInput {
+    /// The case seed (replayable via `RSV_DIFF_SEED`).
+    pub seed: u64,
+    /// Probe-side / input key column (never the `u32::MAX` sentinel).
+    pub keys: Vec<u32>,
+    /// Payload column, same length as `keys`.
+    pub pays: Vec<u32>,
+    /// Build-side key column for table operators (sentinel-free,
+    /// duplicate-free: cuckoo tables cannot hold 3+ copies of one key).
+    pub build_keys: Vec<u32>,
+    /// Build-side payloads, same length as `build_keys`.
+    pub build_pays: Vec<u32>,
+    /// Range-predicate bounds `(lower, upper)` for selection scans.
+    pub bounds: (u32, u32),
+    /// Partitioning fanout (occasionally the max-fanout radix case).
+    pub fanout: usize,
+    /// Hash-table capacity hint (occasionally near-saturation).
+    pub capacity: usize,
+    /// Hash-table load factor in `(0, 1)`.
+    pub load_factor: f64,
+}
+
+/// One kernel registered against a scalar reference.
+pub struct Kernel {
+    /// Display name, e.g. `"vector-buffered"`.
+    pub name: &'static str,
+    /// Whether the kernel takes a worker thread count (parallel
+    /// operators); non-threaded kernels run once with `threads = 1`.
+    pub threaded: bool,
+    /// Run the kernel on `backend` with `threads` workers and encode its
+    /// canonical output bytes (same encoding as the reference).
+    pub run: fn(Backend, usize, &CaseInput) -> Vec<u8>,
+}
+
+/// A registered operator: a scalar reference plus its kernels.
+pub struct DiffOp {
+    /// Operator name, e.g. `"scan"`, `"histogram-radix"`.
+    pub name: &'static str,
+    /// The scalar reference implementation, encoding canonical bytes.
+    pub reference: fn(&CaseInput) -> Vec<u8>,
+    /// The kernels that must match the reference byte-for-byte.
+    pub kernels: Vec<Kernel>,
+}
+
+/// The registry every operator crate adds its [`DiffOp`]s to.
+#[derive(Default)]
+pub struct Registry {
+    ops: Vec<DiffOp>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register one operator.
+    pub fn register(&mut self, op: DiffOp) {
+        assert!(
+            self.ops.iter().all(|o| o.name != op.name),
+            "duplicate diff op `{}`",
+            op.name
+        );
+        self.ops.push(op);
+    }
+
+    /// The registered operators.
+    pub fn ops(&self) -> &[DiffOp] {
+        &self.ops
+    }
+}
+
+/// Runner configuration, normally built by [`DiffConfig::from_env`].
+pub struct DiffConfig {
+    /// Base seed that case seeds are derived from.
+    pub seed: u64,
+    /// Cases per op.
+    pub cases: u64,
+    /// Backends to run every kernel on.
+    pub backends: Vec<Backend>,
+    /// Thread counts for `threaded` kernels.
+    pub thread_counts: Vec<usize>,
+    /// Only run ops whose name contains this substring.
+    pub op_filter: Option<String>,
+    /// Replay exactly this case seed instead of deriving from `seed`.
+    pub replay_seed: Option<u64>,
+}
+
+impl DiffConfig {
+    /// Configuration from the `RSV_DIFF_*` environment variables, with
+    /// `base_seed` as the default stream.
+    pub fn from_env(base_seed: u64) -> DiffConfig {
+        DiffConfig {
+            seed: base_seed,
+            cases: std::env::var("RSV_DIFF_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(DEFAULT_CASES),
+            backends: Backend::all_available(),
+            thread_counts: std::env::var("RSV_DIFF_THREADS")
+                .ok()
+                .map(|s| {
+                    s.split(',')
+                        .map(|t| t.trim().parse().expect("RSV_DIFF_THREADS: bad count"))
+                        .collect()
+                })
+                .unwrap_or_else(|| DEFAULT_THREADS.to_vec()),
+            op_filter: std::env::var("RSV_DIFF_OP").ok().filter(|s| !s.is_empty()),
+            replay_seed: std::env::var("RSV_DIFF_SEED").ok().map(|s| {
+                let s = s.trim();
+                if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).expect("RSV_DIFF_SEED: bad hex")
+                } else {
+                    s.parse().expect("RSV_DIFF_SEED: bad number")
+                }
+            }),
+        }
+    }
+}
+
+/// The replay incantation printed on every failure.
+fn replay_line(op: &str, case_seed: u64) -> String {
+    format!(
+        "RSV_DIFF_OP={op} RSV_DIFF_SEED={case_seed:#x} \
+         cargo test --test differential -- --nocapture"
+    )
+}
+
+/// Run every registered op under `cfg`, panicking (with a replayable
+/// seed) on the first divergence.
+pub fn run_registry(registry: &Registry, cfg: &DiffConfig) {
+    let mut kernel_runs = 0u64;
+    for op in registry.ops() {
+        if let Some(f) = &cfg.op_filter {
+            if !op.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let case_seeds: Vec<u64> = match cfg.replay_seed {
+            Some(s) => vec![s],
+            None => (0..cfg.cases)
+                .map(|c| crate::case_seed(cfg.seed, c))
+                .collect(),
+        };
+        for case_seed in case_seeds {
+            kernel_runs += run_case(op, case_seed, cfg);
+        }
+    }
+    assert!(kernel_runs > 0, "differential run executed no kernels");
+    eprintln!("differential: {kernel_runs} kernel runs, all byte-identical");
+}
+
+/// Run one op on one case across the backend × thread matrix; returns the
+/// number of kernel executions.
+fn run_case(op: &DiffOp, case_seed: u64, cfg: &DiffConfig) -> u64 {
+    let input = crate::arbitrary::case_input(case_seed);
+    let guarded = |what: &str, f: &mut dyn FnMut() -> Vec<u8>| -> Vec<u8> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut *f)) {
+            Ok(bytes) => bytes,
+            Err(payload) => {
+                eprintln!(
+                    "differential op `{}`: {what} panicked\n  replay: {}",
+                    op.name,
+                    replay_line(op.name, case_seed)
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    };
+    let expected = guarded("scalar reference", &mut || (op.reference)(&input));
+    let mut runs = 0u64;
+    let one_thread = [1usize];
+    for kernel in &op.kernels {
+        let threads: &[usize] = if kernel.threaded {
+            &cfg.thread_counts
+        } else {
+            &one_thread
+        };
+        for &backend in &cfg.backends {
+            for &t in threads {
+                let label = format!(
+                    "kernel `{}` backend `{}` threads {t}",
+                    kernel.name,
+                    backend.name()
+                );
+                let got = guarded(&label, &mut || (kernel.run)(backend, t, &input));
+                runs += 1;
+                if got != expected {
+                    let at = first_divergence(&expected, &got);
+                    panic!(
+                        "differential mismatch: op `{}` {label}\n  \
+                         reference {} bytes, kernel {} bytes, first divergence at byte {at}\n  \
+                         replay: {}",
+                        op.name,
+                        expected.len(),
+                        got.len(),
+                        replay_line(op.name, case_seed),
+                    );
+                }
+            }
+        }
+    }
+    runs
+}
+
+fn first_divergence(a: &[u8], b: &[u8]) -> usize {
+    a.iter()
+        .zip(b)
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()))
+}
+
+// ---------------------------------------------------------------------
+// Canonical-output encoding helpers shared by the registrations.
+// ---------------------------------------------------------------------
+
+/// Append `u32` values little-endian.
+pub fn put_u32s(out: &mut Vec<u8>, vals: &[u32]) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Append one `usize` as a `u64` little-endian.
+pub fn put_len(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+}
+
+/// Canonical bytes of an *ordered* pair-column result (stable kernels).
+pub fn ordered_pairs(keys: &[u32], pays: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 8 * keys.len());
+    put_len(&mut out, keys.len());
+    put_u32s(&mut out, keys);
+    put_u32s(&mut out, pays);
+    out
+}
+
+/// Canonical bytes of an order-*insensitive* pair multiset (kernels whose
+/// output order is legitimately unstable): pairs are sorted first.
+pub fn canonical_pairs(keys: &[u32], pays: &[u32]) -> Vec<u8> {
+    assert_eq!(keys.len(), pays.len());
+    let mut pairs: Vec<(u32, u32)> = keys.iter().copied().zip(pays.iter().copied()).collect();
+    pairs.sort_unstable();
+    let mut out = Vec::with_capacity(16 + 8 * pairs.len());
+    put_len(&mut out, pairs.len());
+    for (k, p) in pairs {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+/// Canonical bytes of an order-insensitive triple multiset (join results:
+/// key, inner payload, outer payload).
+pub fn canonical_triples(mut triples: Vec<(u32, u32, u32)>) -> Vec<u8> {
+    triples.sort_unstable();
+    let mut out = Vec::with_capacity(16 + 12 * triples.len());
+    put_len(&mut out, triples.len());
+    for (a, b, c) in triples {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_pairs_ignore_order() {
+        let a = canonical_pairs(&[3, 1, 2], &[30, 10, 20]);
+        let b = canonical_pairs(&[1, 2, 3], &[10, 20, 30]);
+        assert_eq!(a, b);
+        let c = canonical_pairs(&[1, 2, 3], &[10, 20, 31]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordered_pairs_respect_order() {
+        let a = ordered_pairs(&[3, 1], &[30, 10]);
+        let b = ordered_pairs(&[1, 3], &[10, 30]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn registry_rejects_duplicate_names() {
+        fn r(_: &CaseInput) -> Vec<u8> {
+            Vec::new()
+        }
+        let mut reg = Registry::new();
+        reg.register(DiffOp {
+            name: "x",
+            reference: r,
+            kernels: Vec::new(),
+        });
+        let dup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.register(DiffOp {
+                name: "x",
+                reference: r,
+                kernels: Vec::new(),
+            })
+        }));
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn mismatch_reports_replayable_seed() {
+        let mut reg = Registry::new();
+        reg.register(DiffOp {
+            name: "always-diverges",
+            reference: |_| vec![1, 2, 3],
+            kernels: vec![Kernel {
+                name: "bad",
+                threaded: false,
+                run: |_, _, _| vec![1, 2, 4],
+            }],
+        });
+        let cfg = DiffConfig {
+            seed: 7,
+            cases: 1,
+            backends: vec![Backend::Portable(rsv_simd::Portable::new())],
+            thread_counts: vec![1],
+            op_filter: None,
+            replay_seed: None,
+        };
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_registry(&reg, &cfg)))
+                .expect_err("must diverge");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("RSV_DIFF_SEED=0x"), "message: {msg}");
+        assert!(msg.contains("always-diverges"), "message: {msg}");
+        assert!(msg.contains("byte 2"), "message: {msg}");
+    }
+}

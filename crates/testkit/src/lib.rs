@@ -12,8 +12,16 @@
 //!
 //! There is no shrinking — inputs here are small enough to debug directly.
 
+//! The crate also hosts the **differential cross-backend fuzz harness**
+//! ([`diff`], [`arbitrary`]): operator crates register scalar references
+//! and vector kernels, and `tests/differential.rs` at the workspace root
+//! runs them across every backend × thread count on adversarial inputs.
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod arbitrary;
+pub mod diff;
 
 pub use rsv_data::Rng;
 
@@ -50,8 +58,9 @@ where
     prop(&mut rng);
 }
 
-/// The derived seed for one case of a property.
-fn case_seed(seed: u64, case: u64) -> u64 {
+/// The derived seed for one case of a property (also used by the
+/// differential harness so its replay seeds mix the same way).
+pub(crate) fn case_seed(seed: u64, case: u64) -> u64 {
     // splitmix-style mix so adjacent (seed, case) pairs decorrelate
     let mut z = seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
