@@ -78,6 +78,8 @@ fn main() {
             x: 0.0,
             value: pm,
             unit: "Mtps-partition",
+            backend: backend.name(),
+            threads: 1,
         });
         record(&Measurement {
             experiment: "ablation-skew",
@@ -85,6 +87,8 @@ fn main() {
             x: 1.0,
             value: qm,
             unit: "Mtps-probe",
+            backend: backend.name(),
+            threads: 1,
         });
         table.row(vec![
             name.to_string(),
@@ -145,6 +149,8 @@ fn main() {
                         "static" => "Mtps-static",
                         _ => "Mtps-morsel",
                     },
+                    backend: backend.name(),
+                    threads,
                 });
                 if sched == "morsel" {
                     reports.push((

@@ -25,6 +25,7 @@ const BINS: &[&str] = &[
     "fig18_sort_payloads",
     "fig19_join_payloads",
     "ext_aggregation",
+    "ext_compressed_scan",
     "ablation_skew",
 ];
 

@@ -56,6 +56,8 @@ fn main() {
             x: log_groups as f64,
             value: sm,
             unit: "Mtps",
+            backend: backend.name(),
+            threads: 1,
         });
         record(&Measurement {
             experiment: "ext-agg",
@@ -63,6 +65,8 @@ fn main() {
             x: log_groups as f64,
             value: vm,
             unit: "Mtps",
+            backend: backend.name(),
+            threads: 1,
         });
         table.row(vec![
             format!("2^{log_groups}"),

@@ -61,6 +61,8 @@ fn main() {
                 x: sel * 100.0,
                 value: v,
                 unit: "Mtps",
+                backend: backend.name(),
+                threads: 1,
             });
             cells.push(format!("{v:.0}"));
         }

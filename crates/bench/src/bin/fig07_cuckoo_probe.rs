@@ -61,6 +61,8 @@ fn main() {
                 x: bytes as f64,
                 value: v,
                 unit: "Mtps",
+                backend: backend.name(),
+                threads: 1,
             });
             format!("{v:.0}")
         };

@@ -66,6 +66,8 @@ fn main() {
                 x: per_table as f64 * 16.0, // approx table bytes
                 value: v,
                 unit: "Mtps",
+                backend: backend.name(),
+                threads: 1,
             });
             format!("{v:.0}")
         };

@@ -64,6 +64,8 @@ fn main() {
                 x: repeats,
                 value: v,
                 unit: "Mtps",
+                backend: backend.name(),
+                threads: 1,
             });
             format!("{v:.0}")
         };

@@ -60,6 +60,8 @@ fn main() {
             x: bytes as f64,
             value: sm,
             unit: "Mtps",
+            backend: backend.name(),
+            threads: 1,
         });
         record(&Measurement {
             experiment: "fig10",
@@ -67,6 +69,8 @@ fn main() {
             x: bytes as f64,
             value: vm,
             unit: "Mtps",
+            backend: backend.name(),
+            threads: 1,
         });
         table.row(vec![
             fmt_bytes(bytes),

@@ -54,6 +54,8 @@ fn main() {
                 x: bits as f64,
                 value: v,
                 unit: "Mtps",
+                backend: backend.name(),
+                threads: 1,
             });
             format!("{v:.0}")
         };

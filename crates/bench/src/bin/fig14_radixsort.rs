@@ -78,6 +78,8 @@ fn main() {
                 x: n as f64,
                 value: v,
                 unit: "seconds",
+                backend: backend.name(),
+                threads: 1,
             });
         }
         table.row(vec![

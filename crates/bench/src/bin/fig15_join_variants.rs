@@ -68,6 +68,8 @@ fn main() {
                 x: 0.0,
                 value: total,
                 unit: "seconds",
+                backend: backend.name(),
+                threads,
             });
             let speedup = if vectorized {
                 let idx = scalar_totals.iter().position(|(l, _)| *l == label).unwrap();

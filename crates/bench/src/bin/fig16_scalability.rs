@@ -103,6 +103,8 @@ fn main() {
                 x: threads as f64,
                 value: v,
                 unit: "seconds",
+                backend: backend.name(),
+                threads,
             });
         }
         table.row(vec![

@@ -59,6 +59,8 @@ fn main() {
             x: 0.0,
             value: sort_s,
             unit: "seconds-sort",
+            backend: b.name(),
+            threads: 1,
         });
         record(&Measurement {
             experiment: "fig17",
@@ -66,6 +68,8 @@ fn main() {
             x: 1.0,
             value: join_s,
             unit: "seconds-join",
+            backend: b.name(),
+            threads: 1,
         });
         let tdp = paper_tdp
             .iter()

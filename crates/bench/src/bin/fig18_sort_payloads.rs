@@ -65,6 +65,8 @@ fn main() {
             x: bytes as f64,
             value: secs,
             unit: "seconds",
+            backend: backend.name(),
+            threads: 1,
         });
         table.row(vec![
             if spec.is_empty() {

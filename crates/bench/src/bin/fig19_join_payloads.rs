@@ -87,6 +87,8 @@ fn main() {
             x: (rc + sc) as f64,
             value: secs,
             unit: "seconds",
+            backend: backend.name(),
+            threads: 1,
         });
         table.row(vec![
             format!("{rc} : {sc}"),

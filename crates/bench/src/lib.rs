@@ -22,22 +22,46 @@ pub struct Scale(pub f64);
 
 impl Scale {
     /// Parse from `--scale X` argv or the `RSV_SCALE` environment variable
-    /// (default 1.0).
+    /// (default 1.0). An unparsable or non-positive value is a hard error:
+    /// silently falling back to the default would run the wrong problem
+    /// size and record misleading measurements.
     pub fn from_env() -> Scale {
-        let mut scale = std::env::var("RSV_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1.0);
         let args: Vec<String> = std::env::args().collect();
-        for i in 0..args.len() {
-            if args[i] == "--scale" {
-                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-                    scale = v;
-                }
+        match Self::parse(std::env::var("RSV_SCALE").ok().as_deref(), &args) {
+            Ok(scale) => Scale(scale),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
             }
         }
-        assert!(scale > 0.0, "scale must be positive");
-        Scale(scale)
+    }
+
+    /// The parsing behind [`Scale::from_env`], testable without touching
+    /// the process environment. `--scale` (last occurrence wins) overrides
+    /// `RSV_SCALE`.
+    fn parse(env: Option<&str>, args: &[String]) -> Result<f64, String> {
+        let mut scale = match env {
+            None => 1.0,
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| format!("RSV_SCALE value `{v}` is not a number"))?,
+        };
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--scale requires a value".to_string())?;
+                scale = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--scale value `{v}` is not a number"))?;
+            }
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(format!(
+                "scale must be a positive finite number, got {scale}"
+            ));
+        }
+        Ok(scale)
     }
 
     /// Scale a tuple count (at least `min`).
@@ -132,6 +156,11 @@ pub struct Measurement<'a> {
     pub value: f64,
     /// Unit of `value`, e.g. `"Mtps"` or `"seconds"`.
     pub unit: &'a str,
+    /// SIMD backend the measurement ran on (`"avx512"`, `"avx2"`,
+    /// `"portable"`).
+    pub backend: &'a str,
+    /// Worker thread count the measurement ran with.
+    pub threads: usize,
 }
 
 /// Append a measurement to the JSON-lines file named by `RSV_JSON`
@@ -152,12 +181,15 @@ pub fn record(m: &Measurement<'_>) {
 /// or identifier-like strings, so escaping only needs the JSON basics).
 fn to_json(m: &Measurement<'_>) -> String {
     format!(
-        "{{\"experiment\":{},\"series\":{},\"x\":{},\"value\":{},\"unit\":{}}}",
+        "{{\"experiment\":{},\"series\":{},\"x\":{},\"value\":{},\"unit\":{},\
+         \"backend\":{},\"threads\":{}}}",
         json_str(m.experiment),
         json_str(m.series),
         json_num(m.x),
         json_num(m.value),
         json_str(m.unit),
+        json_str(m.backend),
+        m.threads,
     )
 }
 
@@ -272,13 +304,35 @@ mod tests {
             x: 0.5,
             value: 123.25,
             unit: "Mtps",
+            backend: "avx512",
+            threads: 8,
         };
         assert_eq!(
             to_json(&m),
             "{\"experiment\":\"fig05\",\"series\":\"vector \\\"q\\\"\",\
-             \"x\":0.5,\"value\":123.25,\"unit\":\"Mtps\"}"
+             \"x\":0.5,\"value\":123.25,\"unit\":\"Mtps\",\
+             \"backend\":\"avx512\",\"threads\":8}"
         );
         assert_eq!(json_num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(Scale::parse(None, &args(&["bin"])), Ok(1.0));
+        assert_eq!(Scale::parse(Some("0.25"), &args(&["bin"])), Ok(0.25));
+        // --scale overrides the environment; last occurrence wins
+        assert_eq!(
+            Scale::parse(Some("2"), &args(&["bin", "--scale", "0.5", "--scale", "3"])),
+            Ok(3.0)
+        );
+        // unparsable values are hard errors, not silent fallbacks
+        assert!(Scale::parse(Some("fast"), &args(&["bin"])).is_err());
+        assert!(Scale::parse(None, &args(&["bin", "--scale", "huge"])).is_err());
+        assert!(Scale::parse(None, &args(&["bin", "--scale"])).is_err());
+        assert!(Scale::parse(None, &args(&["bin", "--scale", "0"])).is_err());
+        assert!(Scale::parse(None, &args(&["bin", "--scale", "-1"])).is_err());
+        assert!(Scale::parse(None, &args(&["bin", "--scale", "inf"])).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(clippy::all)]
 
 pub use rsv_bloom as bloom;
+pub use rsv_column as column;
 pub use rsv_data as data;
 pub use rsv_exec as exec;
 pub use rsv_hashtab as hashtab;
@@ -29,6 +30,7 @@ pub use rsv_simd as simd;
 pub use rsv_sort as sort;
 
 pub use rsv_bloom::BloomFilter;
+pub use rsv_column::{CompressedColumn, CompressedRelation, RelationCompressExt};
 pub use rsv_data::Relation;
 pub use rsv_hashtab::JoinSink;
 pub use rsv_join::{JoinResult, JoinVariant};
@@ -112,6 +114,41 @@ impl Engine {
         let mut out_keys = vec![0u32; rel.len()];
         let mut out_pays = vec![0u32; rel.len()];
         let (n, _) = rsv_scan::scan_parallel(
+            self.backend,
+            ScanVariant::VectorSelStoreIndirect,
+            &rel.keys,
+            &rel.payloads,
+            pred,
+            &mut out_keys,
+            &mut out_pays,
+            &self.policy(),
+        );
+        out_keys.truncate(n);
+        out_pays.truncate(n);
+        Relation::new(out_keys, out_pays)
+    }
+
+    /// Compress a relation's columns (FOR + bit-packing, block directory)
+    /// on this engine's backend. See [`rsv_column`].
+    pub fn compress(&self, rel: &Relation) -> CompressedRelation {
+        CompressedRelation::compress_with(self.backend, rel)
+    }
+
+    /// Decompress a compressed relation back to materialized columns.
+    pub fn decompress(&self, rel: &CompressedRelation) -> Relation {
+        rel.decompress_with(self.backend)
+    }
+
+    /// Fused compressed selection scan: like [`Engine::select`], but the
+    /// input stays bit-packed and qualifying blocks are decompressed into
+    /// registers on the fly (never materialized), morsel-parallel with
+    /// block-aligned morsels. Output is byte-identical to
+    /// `self.select(&self.decompress(rel), lower, upper)`.
+    pub fn select_compressed(&self, rel: &CompressedRelation, lower: u32, upper: u32) -> Relation {
+        let pred = ScanPredicate { lower, upper };
+        let mut out_keys = vec![0u32; rel.len()];
+        let mut out_pays = vec![0u32; rel.len()];
+        let (n, _) = rsv_column::select_fused_parallel(
             self.backend,
             ScanVariant::VectorSelStoreIndirect,
             &rel.keys,
@@ -307,6 +344,36 @@ mod tests {
         let out = engine().select(&rel, 10, 1000);
         assert_eq!(out.keys, vec![50, 500]);
         assert_eq!(out.payloads, vec![1, 2]);
+    }
+
+    #[test]
+    fn select_compressed_matches_select() {
+        let mut rng = rsv_data::rng(306);
+        let rel = Relation::with_rid_payloads(
+            rsv_data::uniform_u32(20_000, &mut rng)
+                .iter()
+                .map(|k| k % 100_000)
+                .collect(),
+        );
+        for b in Backend::all_available() {
+            for threads in [1usize, 4] {
+                let e = Engine::with_backend(b)
+                    .with_threads(threads)
+                    .with_morsel_tuples(3_000);
+                let c = e.compress(&rel);
+                assert_eq!(e.decompress(&c), rel, "{} roundtrip", b.name());
+                let raw = e.select(&rel, 10_000, 60_000);
+                let fused = e.select_compressed(&c, 10_000, 60_000);
+                assert_eq!(fused, raw, "{} t={threads}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn relation_compress_ext_is_reachable() {
+        let rel = Relation::with_rid_payloads(vec![9, 8, 7, 6]);
+        let c = rel.compress();
+        assert_eq!(c.decompress(), rel);
     }
 
     #[test]

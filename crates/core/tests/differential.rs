@@ -24,6 +24,7 @@ fn registry() -> Registry {
     rsv_bloom::diff::register(&mut r);
     rsv_sort::diff::register(&mut r);
     rsv_join::diff::register(&mut r);
+    rsv_column::diff::register(&mut r);
     r
 }
 
@@ -47,6 +48,9 @@ fn registry_covers_every_operator_family() {
         "bloom-probe",
         "sort-radix",
         "join",
+        "column-roundtrip",
+        "column-select-fused",
+        "column-histogram-fused",
     ] {
         assert!(names.contains(&expected), "missing diff op `{expected}`");
     }

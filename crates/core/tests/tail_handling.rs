@@ -150,3 +150,106 @@ fn buffered_shuffles_handle_tails() {
         }
     }
 }
+
+/// Tail lengths for the compressed-column kernels: the vector-width
+/// boundaries plus a column whose final block is a non-block-multiple
+/// partial block.
+fn column_tail_lens(w: usize) -> [usize; 6] {
+    [
+        0,
+        1,
+        w - 1,
+        w + 1,
+        2 * w + 3,
+        2 * rsv_column::BLOCK_LEN + 37,
+    ]
+}
+
+/// A deterministic column whose deltas fit in `width` bits.
+fn keys_of_width(n: usize, width: u8) -> Vec<u32> {
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let mut rng = rsv_data::rng(0xB17 + n as u64 + (u64::from(width) << 8));
+    (0..n).map(|_| rng.next_u32() & mask).collect()
+}
+
+#[test]
+fn pack_unpack_handle_tails_every_width() {
+    use rsv_column::CompressedColumn;
+    for backend in Backend::all_available() {
+        for width in 1..=32u8 {
+            for n in column_tail_lens(backend.lanes()) {
+                let keys = keys_of_width(n, width);
+                let reference = CompressedColumn::pack_scalar_with_width(&keys, width);
+                let col = CompressedColumn::pack_with_width(backend, &keys, width);
+                assert_eq!(
+                    col,
+                    reference,
+                    "{} width {width} len {n}: packed bytes not canonical",
+                    backend.name()
+                );
+                assert_eq!(
+                    col.unpack(backend),
+                    keys,
+                    "{} width {width} len {n}: vector unpack",
+                    backend.name()
+                );
+                assert_eq!(
+                    reference.unpack_scalar(),
+                    keys,
+                    "width {width} len {n}: scalar unpack"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_scan_handles_tails_every_width() {
+    use rsv_column::{select_fused, CompressedColumn};
+    for backend in Backend::all_available() {
+        for width in 1..=32u8 {
+            for n in column_tail_lens(backend.lanes()) {
+                let keys = keys_of_width(n, width);
+                let pays: Vec<u32> = (0..n as u32).collect();
+                let mask = if width == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << width) - 1
+                };
+                let pred = ScanPredicate {
+                    lower: mask / 4,
+                    upper: mask / 4 * 3,
+                };
+                let mut rk = vec![0u32; n];
+                let mut rp = vec![0u32; n];
+                let rc = scan(
+                    backend,
+                    ScanVariant::ScalarBranching,
+                    &keys,
+                    &pays,
+                    pred,
+                    &mut rk,
+                    &mut rp,
+                );
+                let ck = CompressedColumn::pack_with_width(backend, &keys, width);
+                let cp = CompressedColumn::pack(backend, &pays);
+                for variant in ScanVariant::ALL {
+                    let mut ok = vec![0u32; n];
+                    let mut op = vec![0u32; n];
+                    let c = select_fused(backend, variant, &ck, &cp, pred, &mut ok, &mut op);
+                    assert_eq!(
+                        (c, &ok[..c], &op[..c]),
+                        (rc, &rk[..rc], &rp[..rc]),
+                        "{} width {width} len {n} {}",
+                        backend.name(),
+                        variant.label()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -21,6 +21,24 @@ pub fn uniform_u32(n: usize, rng: &mut Rng) -> Vec<u32> {
     (0..n).map(|_| avoid_sentinel(rng.next_u32())).collect()
 }
 
+/// `n` keys uniform over `[0, 2^bits)` — a column that bit-packs to
+/// exactly `bits` bits per value (compressed-column experiments sweep
+/// this). Sentinel-free for every `bits ≤ 32`.
+///
+/// # Panics
+/// If `bits == 0` or `bits > 32`.
+pub fn bounded_u32(n: usize, bits: u32, rng: &mut Rng) -> Vec<u32> {
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
+    (0..n)
+        .map(|_| avoid_sentinel(rng.next_u32() & mask))
+        .collect()
+}
+
 /// `n` *distinct* 32-bit keys in random order, never the reserved
 /// `u32::MAX` sentinel.
 ///

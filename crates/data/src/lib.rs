@@ -15,8 +15,8 @@ mod relation;
 mod verify;
 
 pub use gen::{
-    join_workload, selection_bounds, shuffle, splitters, uniform_u32, unique_u32, zipf_u32,
-    JoinWorkload,
+    bounded_u32, join_workload, selection_bounds, shuffle, splitters, uniform_u32, unique_u32,
+    zipf_u32, JoinWorkload,
 };
 pub use prng::Rng;
 pub use relation::Relation;
