@@ -1,0 +1,109 @@
+//! Observability smoke check: metering must be free when it is off.
+//!
+//! Measures the fused selection scan (the hottest instrumented kernel)
+//! three ways:
+//!
+//! 1. `disabled` — instrumentation compiled in, metering off: the state
+//!    every benchmark runs in,
+//! 2. `noop-sink` — the same scan under
+//!    `rsv_metrics::collect_with(&mut NoopSink, …)`, which must take the
+//!    identical unmetered path,
+//! 3. `counting` — a fully metered run (reported, not asserted: metered
+//!    runs are allowed to cost something).
+//!
+//! The binary asserts (1) ≈ (2) within `RSV_PARITY_TOL` (default 0.30)
+//! and exits non-zero otherwise. CI runs it twice — on the default build
+//! and on `--features noop`, where every recording call compiles to
+//! nothing — and eyeballs that the two builds' `disabled` throughputs
+//! agree, which is the benchmark-parity evidence for the zero-cost claim
+//! in DESIGN.md §5d.
+//!
+//! Usage: `cargo run --release -p rsv-bench --bin noop_parity [--scale X]`
+
+use rsv_bench::{bench, mtps, record, Measurement, Scale, Table};
+use rsv_metrics::{Metric, NoopSink};
+use rsv_scan::{scan, ScanPredicate, ScanVariant};
+
+fn main() {
+    let build = if cfg!(feature = "noop") {
+        "noop (recording compiled out)"
+    } else {
+        "default (recording compiled in)"
+    };
+    println!("=== noop-parity: metering-disabled benchmark parity ===");
+    println!("metrics build: {build}\n");
+    let scale = Scale::from_env();
+    let n = scale.tuples(4 << 20, 1 << 14);
+    let backend = rsv_bench::backend();
+    let variant = ScanVariant::VectorSelStoreDirect;
+    println!(
+        "tuples: {n}, vector backend: {}, variant: {}\n",
+        backend.name(),
+        variant.label()
+    );
+
+    let mut rng = rsv_data::rng(2026);
+    let keys = rsv_data::uniform_u32(n, &mut rng);
+    let pays: Vec<u32> = (0..n as u32).collect();
+    let mut out_keys = vec![0u32; n];
+    let mut out_pays = vec![0u32; n];
+    let (lo, hi) = rsv_data::selection_bounds(0.10);
+    let pred = ScanPredicate {
+        lower: lo,
+        upper: hi,
+    };
+    let run = |out_keys: &mut [u32], out_pays: &mut [u32]| {
+        scan(backend, variant, &keys, &pays, pred, out_keys, out_pays);
+    };
+
+    let reps = 7;
+    let mut table = Table::new(&["mode", "Mtps"]);
+    // record immediately after each bench so `RSV_METRICS` snapshots pair
+    // with the row they describe
+    let report = |table: &mut Table, series: &str, secs: f64| {
+        let v = mtps(n, secs);
+        table.row(vec![series.to_string(), format!("{v:.0}")]);
+        record(&Measurement {
+            experiment: "noop-parity",
+            series,
+            x: 0.0,
+            value: v,
+            unit: "Mtps",
+            backend: backend.name(),
+            threads: 1,
+        });
+    };
+    let t_disabled = bench(reps, || run(&mut out_keys, &mut out_pays));
+    report(&mut table, "disabled", t_disabled);
+    let t_noop = bench(reps, || {
+        let mut sink = NoopSink;
+        rsv_metrics::collect_with(&mut sink, || run(&mut out_keys, &mut out_pays));
+    });
+    report(&mut table, "noop-sink", t_noop);
+    let t_counting = bench(reps, || {
+        let ((), _sink) = rsv_metrics::collect(|| run(&mut out_keys, &mut out_pays));
+    });
+    report(&mut table, "counting", t_counting);
+    table.print();
+
+    // Sanity on the counting run's snapshot: the scan must have reported
+    // exactly its input size (a cheap end-to-end check that metering is
+    // actually live in this build unless compiled out).
+    let ((), sink) = rsv_metrics::collect(|| run(&mut out_keys, &mut out_pays));
+    let seen = sink.total().get(Metric::ScanTuplesIn);
+    let expected = if cfg!(feature = "noop") { 0 } else { n as u64 };
+    assert_eq!(seen, expected, "metered scan reported {seen} tuples in");
+
+    let tol: f64 = std::env::var("RSV_PARITY_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+    let ratio = t_noop / t_disabled;
+    println!("\nnoop-sink / disabled time ratio: {ratio:.3} (tolerance ±{tol})");
+    assert!(
+        (ratio - 1.0).abs() <= tol,
+        "NoopSink run diverged from the unmetered path: ratio {ratio:.3} \
+         exceeds tolerance {tol}"
+    );
+    println!("parity OK");
+}

@@ -9,10 +9,18 @@
 //! * [`Table`] — aligned console tables shaped like the paper's plots,
 //! * [`record`] — optional JSON-lines output (`RSV_JSON=path`) consumed by
 //!   the EXPERIMENTS.md generator.
+//!
+//! When `RSV_METRICS=path` names a second JSON-lines file, [`bench`] runs
+//! the measured closure one extra time under an `rsv_metrics` session and
+//! [`record`] appends the harvested work-counter snapshot there, carrying
+//! the same `experiment`/`series`/`x`/`backend`/`threads` descriptors as
+//! the timing row it rides alongside. The metered run happens *after* the
+//! timed repetitions, so enabling snapshots never perturbs measurements.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+use std::cell::RefCell;
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -71,6 +79,11 @@ impl Scale {
 }
 
 /// Best-of-`reps` wall-clock seconds of `f`.
+///
+/// With `RSV_METRICS` set, `f` runs once more under a metering session
+/// after the timed repetitions; the counter snapshot is stashed for the
+/// next [`record`] call on this thread, which writes it alongside the
+/// timing row.
 pub fn bench(reps: usize, mut f: impl FnMut()) -> f64 {
     assert!(reps >= 1);
     let mut best = f64::INFINITY;
@@ -79,7 +92,22 @@ pub fn bench(reps: usize, mut f: impl FnMut()) -> f64 {
         f();
         best = best.min(t.elapsed().as_secs_f64());
     }
+    if metrics_path().is_some() {
+        let ((), sink) = rsv_metrics::collect(&mut f);
+        LAST_METRICS.with(|m| *m.borrow_mut() = Some(sink.total()));
+    }
     best
+}
+
+thread_local! {
+    /// The counter snapshot from the latest metered [`bench`] run, waiting
+    /// for the [`record`] call that pairs it with its run descriptors.
+    static LAST_METRICS: RefCell<Option<rsv_metrics::Counters>> = const { RefCell::new(None) };
+}
+
+/// The metrics-snapshot JSON-lines path, when `RSV_METRICS` is set.
+fn metrics_path() -> Option<String> {
+    std::env::var("RSV_METRICS").ok()
 }
 
 /// Million tuples per second. A zero-duration measurement yields `NaN`
@@ -164,7 +192,9 @@ pub struct Measurement<'a> {
 }
 
 /// Append a measurement to the JSON-lines file named by `RSV_JSON`
-/// (silently does nothing when the variable is unset).
+/// (silently does nothing when the variable is unset). With
+/// `RSV_METRICS=path` set and a metered [`bench`] snapshot pending, also
+/// appends the work-counter snapshot there under the same descriptors.
 pub fn record(m: &Measurement<'_>) {
     if let Ok(path) = std::env::var("RSV_JSON") {
         if let Ok(mut f) = std::fs::OpenOptions::new()
@@ -175,6 +205,32 @@ pub fn record(m: &Measurement<'_>) {
             let _ = writeln!(f, "{}", to_json(m));
         }
     }
+    if let Some(path) = metrics_path() {
+        if let Some(c) = LAST_METRICS.with(|s| s.borrow_mut().take()) {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{}", metrics_json(m, &c));
+            }
+        }
+    }
+}
+
+/// Serialize a metrics snapshot with the run descriptors of the timing
+/// row it accompanies.
+fn metrics_json(m: &Measurement<'_>, c: &rsv_metrics::Counters) -> String {
+    format!(
+        "{{\"experiment\":{},\"series\":{},\"x\":{},\"backend\":{},\"threads\":{},\
+         \"metrics\":{}}}",
+        json_str(m.experiment),
+        json_str(m.series),
+        json_num(m.x),
+        json_str(m.backend),
+        m.threads,
+        c.to_json(),
+    )
 }
 
 /// Serialize one measurement as a JSON object (the fields are all numbers
@@ -314,6 +370,70 @@ mod tests {
              \"backend\":\"avx512\",\"threads\":8}"
         );
         assert_eq!(json_num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn metrics_line_shape() {
+        let m = Measurement {
+            experiment: "fig05",
+            series: "vector-selstore-direct",
+            x: 10.0,
+            value: 0.0,
+            unit: "Mtps",
+            backend: "portable",
+            threads: 1,
+        };
+        let mut c = rsv_metrics::Counters::new();
+        c.bump(rsv_metrics::Metric::ScanTuplesIn, 1024);
+        c.bump(rsv_metrics::Metric::ScanTuplesOut, 100);
+        let j = metrics_json(&m, &c);
+        assert!(
+            j.starts_with(
+                "{\"experiment\":\"fig05\",\"series\":\"vector-selstore-direct\",\
+                 \"x\":10,\"backend\":\"portable\",\"threads\":1,\"metrics\":{"
+            ),
+            "{j}"
+        );
+        assert!(j.contains("\"scan_tuples_in\":1024"), "{j}");
+        assert!(j.ends_with("}}"), "{j}");
+    }
+
+    /// End-to-end `RSV_METRICS` flow: a metered [`bench`] stashes a
+    /// snapshot, the next [`record`] appends it. Env-var manipulation is
+    /// scoped to this test; no other test in this binary reads
+    /// `RSV_METRICS`.
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn rsv_metrics_snapshot_rides_alongside_record() {
+        let path =
+            std::env::temp_dir().join(format!("rsv-metrics-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("RSV_METRICS", &path);
+        bench(1, || {
+            rsv_metrics::count(rsv_metrics::Metric::ScanTuplesIn, 42)
+        });
+        record(&Measurement {
+            experiment: "smoke",
+            series: "s",
+            x: 1.0,
+            value: 2.0,
+            unit: "Mtps",
+            backend: "portable",
+            threads: 1,
+        });
+        std::env::remove_var("RSV_METRICS");
+        let line = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(line.contains("\"experiment\":\"smoke\""), "{line}");
+        assert!(
+            line.contains("\"metrics\":{\"scan_tuples_in\":42}"),
+            "{line}"
+        );
+        // the stash is consumed: a second record emits no snapshot row
+        assert!(
+            LAST_METRICS.with(|s| s.borrow().is_none()),
+            "snapshot not consumed"
+        );
     }
 
     #[test]

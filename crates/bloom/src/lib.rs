@@ -98,13 +98,18 @@ impl BloomFilter {
     /// Membership test for one key (early abort on the first unset bit).
     #[inline]
     pub fn contains(&self, key: u32) -> bool {
+        let mut touched = 0u64;
+        let mut hit = true;
         for j in 0..self.k {
             let b = self.bit(key, j);
+            touched += 1;
             if self.words[(b >> 5) as usize] & (1 << (b & 31)) == 0 {
-                return false;
+                hit = false;
+                break;
             }
         }
-        true
+        rsv_metrics::count(rsv_metrics::Metric::BloomWordsTouched, touched);
+        hit
     }
 
     /// Scalar probe: write qualifying keys/payloads to the output fronts,
@@ -117,6 +122,7 @@ impl BloomFilter {
         out_pays: &mut [u32],
     ) -> usize {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        rsv_metrics::count(rsv_metrics::Metric::BloomKeysProbed, keys.len() as u64);
         let mut j = 0;
         for (&k, &p) in keys.iter().zip(pays) {
             if self.contains(k) {
@@ -158,6 +164,8 @@ impl BloomFilter {
     ) -> usize {
         let w = S::LANES;
         let n = keys.len();
+        rsv_metrics::count(rsv_metrics::Metric::BloomKeysProbed, n as u64);
+        let mut touched = 0u64;
         let nbits = s.splat(self.nbits);
         let kfun = s.splat(self.k as u32);
         let one = s.splat(1);
@@ -179,6 +187,7 @@ impl BloomFilter {
             let f = s.gather(&factors_padded, fj);
             let b = s.mulhi(s.mullo(k, f), nbits);
             let word = s.gather(&self.words, s.shr(b, 5));
+            touched += w as u64;
             let bit = s.and(s.shrv(word, s.and(b, b31)), one);
             let pass = s.cmpeq(bit, one);
             fj = s.blend(pass, s.add(fj, one), fj);
@@ -201,6 +210,7 @@ impl BloomFilter {
             let mut ok = true;
             for j in ja[lane] as usize..self.k {
                 let b = self.bit(key, j);
+                touched += 1;
                 if self.words[(b >> 5) as usize] & (1 << (b & 31)) == 0 {
                     ok = false;
                     break;
@@ -212,6 +222,7 @@ impl BloomFilter {
                 out += 1;
             }
         }
+        rsv_metrics::count(rsv_metrics::Metric::BloomWordsTouched, touched);
         for idx in i..n {
             if self.contains(keys[idx]) {
                 out_keys[out] = keys[idx];

@@ -32,6 +32,7 @@ impl<'a, S: Simd> BlockCtx<'a, S> {
     #[inline(always)]
     fn new(s: S, col: &'a CompressedColumn, blk: &BlockMeta) -> Self {
         let width = u32::from(blk.width);
+        rsv_metrics::count_blocks_decoded(width as usize, 1);
         BlockCtx {
             words: &col.words[blk.offset..blk.offset + FORMAT_LANES * width as usize],
             width,
@@ -162,6 +163,8 @@ fn select_scalar(
         let blk_len = (range.end - start).min(BLOCK_LEN);
         let kb = &keys.blocks[bi];
         let pb = &pays.blocks[bi];
+        rsv_metrics::count_blocks_decoded(usize::from(kb.width), 1);
+        rsv_metrics::count_blocks_decoded(usize::from(pb.width), 1);
         let kwords = &keys.words[kb.offset..];
         let pwords = &pays.words[pb.offset..];
         for t in 0..blk_len {

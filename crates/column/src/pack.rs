@@ -211,6 +211,7 @@ fn pack_block_vector<S: Simd>(s: S, vals: &[u32], min: u32, b: u32, words: &mut 
 pub(crate) fn unpack_scalar(col: &CompressedColumn) -> Vec<u32> {
     let mut out = vec![0u32; col.len];
     for (bi, blk) in col.blocks.iter().enumerate() {
+        rsv_metrics::count_blocks_decoded(usize::from(blk.width), 1);
         let start = bi * BLOCK_LEN;
         let blk_len = (col.len - start).min(BLOCK_LEN);
         let words = &col.words[blk.offset..];
@@ -230,6 +231,7 @@ pub(crate) fn unpack_vector<S: Simd>(s: S, col: &CompressedColumn) -> Vec<u32> {
         || {
             let w = S::LANES;
             for (bi, blk) in col.blocks.iter().enumerate() {
+                rsv_metrics::count_blocks_decoded(usize::from(blk.width), 1);
                 let start = bi * BLOCK_LEN;
                 let blk_len = (col.len - start).min(BLOCK_LEN);
                 let b = u32::from(blk.width);

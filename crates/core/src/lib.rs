@@ -18,16 +18,21 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod profile;
+
 pub use rsv_bloom as bloom;
 pub use rsv_column as column;
 pub use rsv_data as data;
 pub use rsv_exec as exec;
 pub use rsv_hashtab as hashtab;
 pub use rsv_join as join;
+pub use rsv_metrics as metrics;
 pub use rsv_partition as partition;
 pub use rsv_scan as scan;
 pub use rsv_simd as simd;
 pub use rsv_sort as sort;
+
+pub use profile::{Query, QueryProfile};
 
 pub use rsv_bloom::BloomFilter;
 pub use rsv_column::{CompressedColumn, CompressedRelation, RelationCompressExt};

@@ -10,7 +10,9 @@
 //! exactly the diverging case. `RSV_DIFF_CASES` raises the case count
 //! for soak runs and `RSV_FORCE_BACKEND` pins the backend set.
 
-use rsv_testkit::diff::{run_registry, DiffConfig, Registry};
+use std::collections::HashMap;
+
+use rsv_testkit::diff::{run_registry, run_registry_metered, DiffConfig, Registry};
 
 /// Fixed base seed: the suite is deterministic run-to-run; bump the seed
 /// to rotate the case set.
@@ -59,4 +61,65 @@ fn registry_covers_every_operator_family() {
 #[test]
 fn all_kernels_match_their_scalar_reference() {
     run_registry(&registry(), &DiffConfig::from_env(BASE_SEED));
+}
+
+/// The `metrics` op class: every kernel runs metered across the backend
+/// matrix and its *work* counters (tuples scanned, slots probed, blocks
+/// decoded, bytes sorted — `MetricClass::Work`) must be byte-identical
+/// across backends at a fixed kernel × case × thread count, exactly like
+/// the kernels' output. Width-dependent counters (conflict retries,
+/// buffer flushes, displacement chains) additionally match between
+/// backends with the same lane count.
+#[test]
+fn work_counters_are_backend_invariant() {
+    /// First-seen backend name and its canonical counter bytes.
+    type Seen = (String, Vec<u8>);
+    let mut cfg = DiffConfig::from_env(BASE_SEED);
+    // output equivalence already fuzzes the full case budget; counter
+    // determinism needs fewer cases per op
+    cfg.cases = cfg.cases.min(8);
+    let mut work: HashMap<(String, usize, u64), Seen> = HashMap::new();
+    let mut deterministic: HashMap<(String, usize, u64, usize), Seen> = HashMap::new();
+    let mut compared = 0u64;
+    run_registry_metered(&registry(), &cfg, &mut |run| {
+        let kernel = format!("{}/{}", run.op, run.kernel);
+        let key = (kernel.clone(), run.threads, run.input.seed);
+        let bytes = run.counters.work_bytes();
+        match work.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((run.backend.name().to_string(), bytes));
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let (first, expected) = e.get();
+                assert_eq!(
+                    *expected,
+                    bytes,
+                    "work counters diverge between `{first}` and `{}`",
+                    run.backend.name()
+                );
+                compared += 1;
+            }
+        }
+        let lane_key = (kernel, run.threads, run.input.seed, run.backend.lanes());
+        let bytes = run.counters.deterministic_bytes();
+        match deterministic.entry(lane_key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((run.backend.name().to_string(), bytes));
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let (first, expected) = e.get();
+                assert_eq!(
+                    *expected,
+                    bytes,
+                    "width-dependent counters diverge between equal-lane backends \
+                     `{first}` and `{}`",
+                    run.backend.name()
+                );
+            }
+        }
+    });
+    // vacuous unless at least two backends are available
+    if rsv_simd::Backend::all_available().len() > 1 {
+        assert!(compared > 0, "no cross-backend counter comparisons ran");
+    }
 }

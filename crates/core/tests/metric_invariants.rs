@@ -1,0 +1,202 @@
+//! Metric-invariant test oracles (DESIGN.md §5d).
+//!
+//! Every kernel in the differential registry runs under the metrics
+//! layer, and the merged counters must satisfy per-operator identities
+//! that hold for *any* correct execution — tuples counted in equal
+//! tuples counted out, probe chains are at least one slot per key,
+//! cuckoo displacement work respects the safety valve, partition
+//! staging conserves tuples. The same backend × thread matrix and
+//! `RSV_DIFF_*` replay knobs as the differential suite apply, so a
+//! failing oracle prints a seed that re-runs exactly the offending case.
+
+use rsv_core::column::CompressedColumn;
+use rsv_core::hashtab::CuckooTable;
+use rsv_core::metrics::{Counters, Metric};
+use rsv_testkit::diff::{run_registry_metered, DiffConfig, MeteredRun, Registry};
+use rsv_testkit::Rng;
+
+/// Same case stream as `differential.rs`.
+const BASE_SEED: u64 = 0x5349_4D44_3230_3135;
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    rsv_core::scan::diff::register(&mut r);
+    rsv_core::partition::diff::register(&mut r);
+    rsv_core::hashtab::diff::register(&mut r);
+    rsv_core::bloom::diff::register(&mut r);
+    rsv_core::sort::diff::register(&mut r);
+    rsv_core::join::diff::register(&mut r);
+    rsv_core::column::diff::register(&mut r);
+    r
+}
+
+/// Tuple count prefix of the canonical encodings (`ordered_pairs`,
+/// `canonical_pairs`, `canonical_triples` all lead with a `u64` length).
+fn out_len(bytes: &[u8]) -> u64 {
+    let mut le = [0u8; 8];
+    le.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(le)
+}
+
+/// Mirrors `rsv_sort::diff`'s case-seeded radix width.
+fn sort_passes(case_seed: u64) -> u64 {
+    let mut rng = Rng::seed_from_u64(case_seed ^ 0x534F_5254);
+    let bits = [1u32, 4, 5, 8, 11, 16][rng.index(6)];
+    u64::from(32u32.div_ceil(bits))
+}
+
+/// Identities that hold for every operator, metered or not.
+fn universal_invariants(c: &Counters) {
+    assert!(
+        c.get(Metric::ScanTuplesOut) <= c.get(Metric::ScanTuplesIn),
+        "scan emitted more tuples than it consumed"
+    );
+    // every probed key inspects at least one slot
+    assert!(c.get(Metric::LpProbes) >= c.get(Metric::LpKeysProbed));
+    assert!(c.get(Metric::DhProbes) >= c.get(Metric::DhKeysProbed));
+    // staged tuples (buffer flushes + cleanup residue) never exceed the
+    // tuples that entered a shuffle
+    assert!(
+        c.get(Metric::PartTuplesFlushed) + c.get(Metric::PartTuplesResidual)
+            <= c.get(Metric::PartShuffleTuples)
+    );
+}
+
+/// Upper bound on cuckoo displacement work for one run: `attempts` full
+/// build attempts over `n` keys, scalar inserts bounded by `max_kicks`
+/// each and the vectorized build bounded by its safety-valve budget of
+/// `16·(n/w + 1) + 4·max_kicks` iterations displacing at most `w` lanes,
+/// plus a scalar fallback of at most `n + w` inserts.
+fn cuckoo_displacement_bound(attempts: u64, n: u64, w: u64, max_kicks: u64) -> u64 {
+    let vector_budget = (16 * (n / w + 1) + 4 * max_kicks) * w;
+    attempts * (vector_budget + (n + w) * max_kicks)
+}
+
+fn check(run: &MeteredRun<'_>) {
+    let c = &run.counters;
+    let n = run.input.keys.len() as u64;
+    let b = run.input.build_keys.len() as u64;
+    universal_invariants(c);
+    let staged = c.get(Metric::PartTuplesFlushed) + c.get(Metric::PartTuplesResidual);
+    match run.op {
+        "scan" => {
+            assert_eq!(c.get(Metric::ScanTuplesIn), n);
+            assert_eq!(c.get(Metric::ScanTuplesOut), out_len(run.output));
+        }
+        "histogram-radix" | "histogram-hash" | "histogram-range" => {
+            assert_eq!(c.get(Metric::PartHistTuples), n);
+        }
+        "shuffle-radix" | "shuffle-radix-unstable" => {
+            // the shuffle harness recomputes the histogram for offsets
+            assert_eq!(c.get(Metric::PartHistTuples), n);
+            assert_eq!(c.get(Metric::PartShuffleTuples), n);
+            if run.kernel.contains("unbuffered") {
+                assert_eq!(staged, 0, "unbuffered shuffles stage nothing");
+            } else {
+                assert_eq!(staged, n, "buffered shuffles stage every tuple");
+            }
+        }
+        "partition-pass" => {
+            assert_eq!(c.get(Metric::PartHistTuples), n);
+            assert_eq!(c.get(Metric::PartShuffleTuples), n);
+            assert_eq!(staged, n);
+        }
+        "lp-probe" => {
+            assert_eq!(c.get(Metric::LpKeysBuilt), b);
+            assert_eq!(c.get(Metric::LpKeysProbed), n);
+        }
+        "dh-probe" => {
+            assert_eq!(c.get(Metric::DhKeysProbed), n);
+        }
+        "cuckoo-probe" | "cuckoo-build" => {
+            let kicks = CuckooTable::new(run.input.capacity, run.input.load_factor.min(0.4))
+                .max_kicks() as u64;
+            let built = c.get(Metric::CuckooKeysBuilt);
+            let disp = c.get(Metric::CuckooDisplacements);
+            if b == 0 {
+                assert_eq!(built, 0);
+                assert_eq!(disp, 0);
+            } else {
+                // keys-built is counted once per full build attempt
+                assert_eq!(built % b, 0, "keys built not a whole number of attempts");
+                if run.output != b"cuckoo-build-failed" {
+                    assert!(built >= b, "successful build counted no keys");
+                }
+                let w = run.backend.lanes() as u64;
+                assert!(
+                    disp <= cuckoo_displacement_bound(built / b, b, w, kicks),
+                    "displacements {disp} exceed the safety valve \
+                     (attempts {}, keys {b}, max_kicks {kicks})",
+                    built / b,
+                );
+            }
+        }
+        "bloom-probe" => {
+            assert_eq!(c.get(Metric::BloomKeysProbed), n);
+            // every probed key touches at least one filter word
+            assert!(c.get(Metric::BloomWordsTouched) >= n);
+        }
+        "sort-radix" => {
+            let passes = sort_passes(run.input.seed);
+            assert_eq!(c.get(Metric::SortPasses), passes);
+            assert_eq!(c.get(Metric::SortBytesMoved), 8 * n * passes);
+            assert_eq!(c.get(Metric::PartHistTuples), n * passes);
+            assert_eq!(c.get(Metric::PartShuffleTuples), n * passes);
+            assert_eq!(staged, n * passes);
+        }
+        "join" => {
+            assert_eq!(c.get(Metric::JoinBuildTuples), b);
+            assert_eq!(c.get(Metric::JoinProbeTuples), n);
+            // every variant probes each outer tuple against exactly one
+            // linear-probing (sub-)table
+            assert_eq!(c.get(Metric::LpKeysProbed), n);
+            if run.kernel.starts_with("min-partition") {
+                assert_eq!(c.get(Metric::JoinPartitionFanout), run.threads as u64);
+                assert_eq!(c.get(Metric::PartShuffleTuples), b);
+            }
+        }
+        "column-roundtrip" => {
+            let blocks = CompressedColumn::pack_scalar(&run.input.keys).block_count() as u64;
+            if run.kernel == "random-access" {
+                assert_eq!(c.get(Metric::ColBlocksDecoded), 0);
+            } else {
+                assert_eq!(c.get(Metric::ColBlocksDecoded), blocks);
+            }
+        }
+        "column-select-fused" => {
+            // direct variants decode key and payload blocks in lockstep;
+            // indirect variants decode only key blocks (payloads come
+            // through the random-access directory, which is not a block
+            // decode)
+            let per_block = if run.kernel.contains("indirect") {
+                1
+            } else {
+                2
+            };
+            let blocks =
+                per_block * CompressedColumn::pack_scalar(&run.input.keys).block_count() as u64;
+            if run.kernel.starts_with("parallel") {
+                assert!(c.get(Metric::ColBlocksDecoded) >= blocks);
+            } else {
+                assert_eq!(c.get(Metric::ColBlocksDecoded), blocks);
+            }
+        }
+        "column-histogram-fused" => {
+            let blocks = CompressedColumn::pack_scalar(&run.input.keys).block_count() as u64;
+            if run.kernel.starts_with("parallel") {
+                assert!(c.get(Metric::ColBlocksDecoded) >= blocks);
+            } else {
+                assert_eq!(c.get(Metric::ColBlocksDecoded), blocks);
+            }
+        }
+        // horizontal buckets and aggregate groups are width-dependent by
+        // construction and deliberately unmetered
+        "horizontal-probe" | "agg-group" => {}
+        other => panic!("diff op `{other}` has no metric oracle — add one"),
+    }
+}
+
+#[test]
+fn metric_invariants_hold_for_every_kernel() {
+    run_registry_metered(&registry(), &DiffConfig::from_env(BASE_SEED), &mut check);
+}

@@ -40,7 +40,7 @@ pub fn chunk_ranges(n: usize, t: usize, align: usize) -> Vec<Range<usize>> {
 }
 
 /// What one worker did during a [`parallel_scope_stats`] region.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkerStats {
     /// Morsels this worker claimed (own span and stolen).
     pub morsels: u64,
@@ -71,7 +71,7 @@ impl WorkerStats {
 }
 
 /// Per-worker scheduler instrumentation for one parallel region.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     /// One entry per worker, in thread-id order.
     pub workers: Vec<WorkerStats>,
@@ -159,9 +159,9 @@ impl ParallelContext<'_> {
     pub fn phase<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
         let t = Instant::now();
         let r = f();
-        self.stats
-            .borrow_mut()
-            .record_phase(name, t.elapsed().as_nanos() as u64);
+        let ns = t.elapsed().as_nanos() as u64;
+        rsv_metrics::record_phase_ns(ns);
+        self.stats.borrow_mut().record_phase(name, ns);
         r
     }
 }
@@ -177,6 +177,8 @@ impl Iterator for Morsels<'_, '_> {
 
     fn next(&mut self) -> Option<Morsel> {
         let m = self.queue.claim(self.ctx.thread_id)?;
+        rsv_metrics::count(rsv_metrics::Metric::MorselsClaimed, 1);
+        rsv_metrics::count(rsv_metrics::Metric::MorselsStolen, u64::from(m.stolen));
         self.ctx.stats.borrow_mut().record_claim(&m);
         Some(m)
     }
@@ -204,7 +206,14 @@ where
 {
     assert!(t > 0, "need at least one thread");
     let barrier = Barrier::new(t);
+    // Metering follows the call tree: spawned workers inherit the calling
+    // thread's flag and flush their counters into the live session (by
+    // thread id, like the stats below) before they exit the scope.
+    let metering = rsv_metrics::enabled();
     let run = |thread_id: usize, barrier: &Barrier| {
+        if thread_id != 0 {
+            rsv_metrics::set_thread_metering(metering);
+        }
         let ctx = ParallelContext {
             thread_id,
             threads: t,
@@ -212,6 +221,7 @@ where
             stats: RefCell::new(WorkerStats::default()),
         };
         let r = f(&ctx);
+        rsv_metrics::flush_worker(thread_id);
         (r, ctx.stats.into_inner())
     };
     let per_worker: Vec<(R, WorkerStats)> = if t == 1 {

@@ -1,0 +1,90 @@
+//! Algebraic properties of [`SchedulerStats::merge`].
+//!
+//! Operators fold stats from several back-to-back parallel regions (and
+//! the bench harness folds across repeats), so `merge` must behave like
+//! a sum: commutative and associative up to phase ordering, with
+//! `default()` as the identity. `phase_ns` keeps first-use order — a
+//! presentation choice, not data — so the properties compare stats with
+//! each worker's phases sorted by name.
+
+use rsv_exec::{SchedulerStats, WorkerStats};
+use rsv_testkit::Rng;
+
+const PHASES: [&str; 5] = ["histogram", "shuffle", "build", "probe", "cleanup"];
+
+fn random_stats(rng: &mut Rng) -> SchedulerStats {
+    let workers = (0..rng.index(5))
+        .map(|_| {
+            let mut w = WorkerStats {
+                morsels: rng.below(100),
+                steals: rng.below(10),
+                tuples: rng.below(1_000_000),
+                phase_ns: Vec::new(),
+            };
+            for &name in PHASES.iter().take(rng.index(PHASES.len() + 1)) {
+                w.phase_ns.push((name, rng.below(1 << 30)));
+            }
+            w
+        })
+        .collect();
+    SchedulerStats { workers }
+}
+
+/// Phase order is first-use order; sort it away before comparing.
+fn canon(mut s: SchedulerStats) -> SchedulerStats {
+    for w in &mut s.workers {
+        w.phase_ns.sort_unstable_by_key(|e| e.0);
+    }
+    s
+}
+
+fn merged(a: &SchedulerStats, b: &SchedulerStats) -> SchedulerStats {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+#[test]
+fn merge_is_commutative_up_to_phase_order() {
+    rsv_testkit::check("stats-merge-commutative", 200, 0x51A7_5001, |rng| {
+        let a = random_stats(rng);
+        let b = random_stats(rng);
+        assert_eq!(canon(merged(&a, &b)), canon(merged(&b, &a)));
+    });
+}
+
+#[test]
+fn merge_is_associative() {
+    rsv_testkit::check("stats-merge-associative", 200, 0x51A7_5002, |rng| {
+        let a = random_stats(rng);
+        let b = random_stats(rng);
+        let c = random_stats(rng);
+        assert_eq!(
+            canon(merged(&merged(&a, &b), &c)),
+            canon(merged(&a, &merged(&b, &c)))
+        );
+    });
+}
+
+#[test]
+fn default_is_the_identity() {
+    rsv_testkit::check("stats-merge-identity", 200, 0x51A7_5003, |rng| {
+        let a = random_stats(rng);
+        // right identity is exact (nothing to fold in)
+        assert_eq!(merged(&a, &SchedulerStats::default()), a);
+        // left identity resizes from empty and must land on the same stats
+        assert_eq!(merged(&SchedulerStats::default(), &a), a);
+    });
+}
+
+#[test]
+fn merge_preserves_totals() {
+    rsv_testkit::check("stats-merge-totals", 200, 0x51A7_5004, |rng| {
+        let a = random_stats(rng);
+        let b = random_stats(rng);
+        let m = merged(&a, &b);
+        assert_eq!(m.total_morsels(), a.total_morsels() + b.total_morsels());
+        assert_eq!(m.total_steals(), a.total_steals() + b.total_steals());
+        assert_eq!(m.total_tuples(), a.total_tuples() + b.total_tuples());
+    });
+}

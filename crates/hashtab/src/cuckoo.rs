@@ -4,6 +4,7 @@
 //! worst-case two accesses, building displaces ("kicks") occupants. Cuckoo
 //! tables do not support key repeats — build inputs must have unique keys.
 
+use rsv_metrics::Metric;
 use rsv_simd::{MaskLike, Simd};
 
 use crate::sink::JoinSink;
@@ -78,6 +79,12 @@ impl CuckooTable {
         self.pairs.len() * 8
     }
 
+    /// The displacement limit per insert (bounds the
+    /// `CuckooDisplacements` metric: at most `max_kicks` per key built).
+    pub fn max_kicks(&self) -> usize {
+        self.max_kicks
+    }
+
     #[inline(always)]
     fn bucket1(&self, key: u32) -> usize {
         self.h1.bucket(key, self.pairs.len())
@@ -97,14 +104,17 @@ impl CuckooTable {
         assert!(self.len < self.pairs.len(), "hash table is full");
         let mut cur = u64::from(key) | (u64::from(pay) << 32);
         let mut h = self.bucket1(key);
+        let mut kicks = 0u64;
         for _ in 0..self.max_kicks {
             let occupant = self.pairs[h];
             self.pairs[h] = cur;
             if occupant as u32 == EMPTY_KEY {
                 self.len += 1;
+                rsv_metrics::count(Metric::CuckooDisplacements, kicks);
                 return Ok(());
             }
             // Displace the occupant to its alternate bucket.
+            kicks += 1;
             let ok = occupant as u32;
             let alt = if self.bucket1(ok) == h {
                 self.bucket2(ok)
@@ -114,6 +124,7 @@ impl CuckooTable {
             cur = occupant;
             h = alt;
         }
+        rsv_metrics::count(Metric::CuckooDisplacements, kicks);
         Err(CuckooBuildError {
             key: cur as u32,
             payload: (cur >> 32) as u32,
@@ -143,6 +154,7 @@ impl CuckooTable {
         assert!(self.is_empty(), "build on a non-empty cuckoo table");
         let mut attempt = 0;
         'retry: loop {
+            rsv_metrics::count(Metric::CuckooKeysBuilt, keys.len() as u64);
             for (&k, &p) in keys.iter().zip(pays) {
                 if let Err(e) = self.try_insert(k, p) {
                     attempt += 1;
@@ -172,6 +184,7 @@ impl CuckooTable {
         assert!(self.is_empty(), "build on a non-empty cuckoo table");
         let mut attempt = 0;
         loop {
+            rsv_metrics::count(Metric::CuckooKeysBuilt, keys.len() as u64);
             let r = s.vectorize(
                 #[inline(always)]
                 || self.build_vertical_impl(s, keys, pays),
@@ -211,6 +224,7 @@ impl CuckooTable {
         let mut v = s.zero();
         let mut h = s.zero();
         let mut m = S::M::all();
+        let mut kicks = 0u64;
         let mut i = 0usize;
         // Safety valve against displacement cycles: bounded iterations, then
         // fall back to scalar insertion for whatever is still in flight.
@@ -251,8 +265,11 @@ impl CuckooTable {
             m = s.cmpeq(k, empty);
             // Displaced occupants were already counted when they were first
             // inserted; winning over a non-empty bucket nets zero.
-            self.len -= won.and(m.not()).count();
+            let displaced = won.and(m.not()).count();
+            kicks += displaced as u64;
+            self.len -= displaced;
         }
+        rsv_metrics::count(Metric::CuckooDisplacements, kicks);
         // Scalar fallback: in-flight lanes, then the input tail.
         let mut ka = [0u32; MAX_LANES];
         let mut va = [0u32; MAX_LANES];

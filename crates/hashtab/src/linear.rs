@@ -1,6 +1,7 @@
 //! Linear probing (§5.1) and double hashing (§5.2) tables with scalar and
 //! vertically vectorized build/probe.
 
+use rsv_metrics::Metric;
 use rsv_simd::{MaskLike, Simd};
 
 use crate::sink::JoinSink;
@@ -82,6 +83,7 @@ impl LinearTable {
     /// Build the table from columns with scalar code (Algorithm 6).
     pub fn build_scalar(&mut self, keys: &[u32], pays: &[u32]) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        rsv_metrics::count(Metric::LpKeysBuilt, keys.len() as u64);
         for (&k, &p) in keys.iter().zip(pays) {
             self.insert(k, p);
         }
@@ -98,6 +100,7 @@ impl LinearTable {
     /// chain and emit all matches.
     pub fn probe_scalar(&self, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        rsv_metrics::count(Metric::LpKeysProbed, keys.len() as u64);
         for (&k, &p) in keys.iter().zip(pays) {
             self.probe_one_from(k, p, 0, out);
         }
@@ -231,6 +234,7 @@ impl DoubleHashTable {
     /// Build the table from columns with scalar code.
     pub fn build_scalar(&mut self, keys: &[u32], pays: &[u32]) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        rsv_metrics::count(Metric::LpKeysBuilt, keys.len() as u64);
         for (&k, &p) in keys.iter().zip(pays) {
             self.insert(k, p);
         }
@@ -243,8 +247,10 @@ impl DoubleHashTable {
         let t = self.pairs.len();
         let step = self.step(key);
         let mut h = h.unwrap_or_else(|| self.h1.bucket(key, t));
+        let mut steps = 0u64;
         loop {
             let pair = self.pairs[h];
+            steps += 1;
             let tk = pair as u32;
             if tk == EMPTY_KEY {
                 break;
@@ -257,11 +263,13 @@ impl DoubleHashTable {
                 h -= t;
             }
         }
+        rsv_metrics::count(Metric::DhProbes, steps);
     }
 
     /// Scalar probe.
     pub fn probe_scalar(&self, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        rsv_metrics::count(Metric::DhKeysProbed, keys.len() as u64);
         for (&k, &p) in keys.iter().zip(pays) {
             self.probe_one_from(k, p, None, out);
         }
@@ -281,6 +289,7 @@ impl DoubleHashTable {
         let w = S::LANES;
         let n = keys.len();
         let t = self.pairs.len();
+        rsv_metrics::count(Metric::DhKeysProbed, n as u64);
         let f1 = s.splat(self.h1.factor());
         let f2 = s.splat(self.h2.factor());
         let tn = s.splat(t as u32);
@@ -291,6 +300,7 @@ impl DoubleHashTable {
         let mut v = s.zero();
         let mut h = s.zero();
         let mut m = S::M::all();
+        let mut probes = 0u64;
         let mut i = 0usize;
         while i + w <= n {
             k = s.selective_load(k, m, &keys[i..]);
@@ -305,6 +315,7 @@ impl DoubleHashTable {
             let over = s.cmpge(h, tn);
             h = s.blend(over, s.sub(h, tn), h);
             let (tk, tv) = s.gather_pairs(&self.pairs, h);
+            probes += w as u64;
             m = s.cmpeq(tk, empty);
             let hit = m.andnot(s.cmpeq(tk, k));
             if hit.any() {
@@ -315,6 +326,7 @@ impl DoubleHashTable {
                 out.advance(c);
             }
         }
+        rsv_metrics::count(Metric::DhProbes, probes);
         let mut ka = [0u32; MAX_LANES];
         let mut va = [0u32; MAX_LANES];
         let mut ha = [0u32; MAX_LANES];
@@ -351,6 +363,7 @@ impl DoubleHashTable {
     /// Vertically vectorized build (Algorithm 7 with the Algorithm 8 hash).
     pub fn build_vertical<S: Simd>(&mut self, s: S, keys: &[u32], pays: &[u32]) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        rsv_metrics::count(Metric::LpKeysBuilt, keys.len() as u64);
         s.vectorize(
             #[inline(always)]
             || self.build_vertical_impl(s, keys, pays),
@@ -377,6 +390,7 @@ impl DoubleHashTable {
         let mut v = s.zero();
         let mut h = s.zero();
         let mut m = S::M::all();
+        let mut retries = 0u64;
         let mut i = 0usize;
         while i + w <= n {
             k = s.selective_load(k, m, &keys[i..]);
@@ -394,9 +408,11 @@ impl DoubleHashTable {
             let (back, _) = s.gather_pairs_masked((s.zero(), s.zero()), empt, &self.pairs, h);
             let ok = empt.and(s.cmpeq(back, lane_ids));
             s.scatter_pairs_masked(&mut self.pairs, ok, h, k, v);
+            retries += (empt.count() - ok.count()) as u64;
             self.len += ok.count();
             m = ok;
         }
+        rsv_metrics::count(Metric::LpBuildConflictRetries, retries);
         let mut ka = [0u32; MAX_LANES];
         let mut va = [0u32; MAX_LANES];
         let mut ha = [0u32; MAX_LANES];
@@ -476,8 +492,10 @@ pub fn lp_probe_one_raw(
     if h >= t {
         h -= t;
     }
+    let mut steps = 0u64;
     loop {
         let pair = pairs[h];
+        steps += 1;
         let tk = pair as u32;
         if tk == EMPTY_KEY {
             break;
@@ -490,12 +508,14 @@ pub fn lp_probe_one_raw(
             h = 0;
         }
     }
+    rsv_metrics::count(Metric::LpProbes, steps);
 }
 
 /// Scalar build (Algorithm 6) into a raw bucket slice.
 pub fn lp_build_scalar_raw(pairs: &mut [u64], hash: MulHash, keys: &[u32], pays: &[u32]) {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
     assert!(keys.len() < pairs.len(), "bucket slice too small for build");
+    rsv_metrics::count(Metric::LpKeysBuilt, keys.len() as u64);
     for (&k, &p) in keys.iter().zip(pays) {
         lp_insert_raw(pairs, hash, k, p, 0);
     }
@@ -510,6 +530,7 @@ pub fn lp_probe_scalar_raw(
     out: &mut JoinSink,
 ) {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
+    rsv_metrics::count(Metric::LpKeysProbed, keys.len() as u64);
     for (&k, &p) in keys.iter().zip(pays) {
         lp_probe_one_raw(pairs, hash, k, p, 0, out);
     }
@@ -530,6 +551,7 @@ pub fn lp_build_vertical_raw<S: Simd>(
         !keys.contains(&EMPTY_KEY),
         "empty-sentinel key in build input"
     );
+    rsv_metrics::count(Metric::LpKeysBuilt, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {
@@ -545,6 +567,7 @@ pub fn lp_build_vertical_raw<S: Simd>(
             let mut v = s.zero();
             let mut o = s.zero();
             let mut m = S::M::all();
+            let mut retries = 0u64;
             let mut i = 0usize;
             while i + w <= n {
                 k = s.selective_load(k, m, &keys[i..]);
@@ -560,9 +583,11 @@ pub fn lp_build_vertical_raw<S: Simd>(
                 let (back, _) = s.gather_pairs_masked((s.zero(), s.zero()), empt, pairs, h);
                 let ok = empt.and(s.cmpeq(back, lane_ids));
                 s.scatter_pairs_masked(pairs, ok, h, k, v);
+                retries += (empt.count() - ok.count()) as u64;
                 o = s.blend(ok, s.zero(), s.add(o, one));
                 m = ok;
             }
+            rsv_metrics::count(Metric::LpBuildConflictRetries, retries);
             let mut ka = [0u32; MAX_LANES];
             let mut va = [0u32; MAX_LANES];
             let mut oa = [0u32; MAX_LANES];
@@ -589,6 +614,7 @@ pub fn lp_probe_vertical_raw<S: Simd>(
     out: &mut JoinSink,
 ) {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
+    rsv_metrics::count(Metric::LpKeysProbed, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {
@@ -603,6 +629,7 @@ pub fn lp_probe_vertical_raw<S: Simd>(
             let mut v = s.zero();
             let mut o = s.zero();
             let mut m = S::M::all();
+            let mut probes = 0u64;
             let mut i = 0usize;
             while i + w <= n {
                 k = s.selective_load(k, m, &keys[i..]);
@@ -612,6 +639,7 @@ pub fn lp_probe_vertical_raw<S: Simd>(
                 let over = s.cmpge(h, tn);
                 h = s.blend(over, s.sub(h, tn), h);
                 let (tk, tv) = s.gather_pairs(pairs, h);
+                probes += w as u64;
                 m = s.cmpeq(tk, empty);
                 let hit = m.andnot(s.cmpeq(tk, k));
                 if hit.any() {
@@ -623,6 +651,7 @@ pub fn lp_probe_vertical_raw<S: Simd>(
                 }
                 o = s.blend(m, s.zero(), s.add(o, one));
             }
+            rsv_metrics::count(Metric::LpProbes, probes);
             let mut ka = [0u32; MAX_LANES];
             let mut va = [0u32; MAX_LANES];
             let mut oa = [0u32; MAX_LANES];
@@ -658,6 +687,7 @@ pub fn lp_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
 ) {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
     assert!(STRANDS >= 1);
+    rsv_metrics::count(Metric::LpKeysProbed, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {
@@ -668,6 +698,7 @@ pub fn lp_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
             let tn = s.splat(t as u32);
             let empty = s.splat(EMPTY_KEY);
             let one = s.splat(1);
+            let mut probes = 0u64;
             // per-strand state over contiguous input chunks
             let chunk = n / STRANDS;
             let mut k = [s.zero(); STRANDS];
@@ -699,6 +730,7 @@ pub fn lp_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
                     let over = s.cmpge(h, tn);
                     h = s.blend(over, s.sub(h, tn), h);
                     let (tk, tv) = s.gather_pairs(pairs, h);
+                    probes += w as u64;
                     m[st] = s.cmpeq(tk, empty);
                     let hit = m[st].andnot(s.cmpeq(tk, k[st]));
                     if hit.any() {
@@ -711,6 +743,7 @@ pub fn lp_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
                     o[st] = s.blend(m[st], s.zero(), s.add(o[st], one));
                 }
             }
+            rsv_metrics::count(Metric::LpProbes, probes);
             // drain in-flight lanes and chunk tails with scalar code
             let mut ka = [0u32; MAX_LANES];
             let mut va = [0u32; MAX_LANES];
@@ -743,12 +776,14 @@ pub fn dh_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
 ) {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
     assert!(STRANDS >= 1);
+    rsv_metrics::count(Metric::DhKeysProbed, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {
             let w = S::LANES;
             let n = keys.len();
             let t = pairs.len();
+            let mut probes = 0u64;
             let f1 = s.splat(h1.factor());
             let f2 = s.splat(h2.factor());
             let tn = s.splat(t as u32);
@@ -789,6 +824,7 @@ pub fn dh_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
                     let over = s.cmpge(h[st], tn);
                     h[st] = s.blend(over, s.sub(h[st], tn), h[st]);
                     let (tk, tv) = s.gather_pairs(pairs, h[st]);
+                    probes += w as u64;
                     m[st] = s.cmpeq(tk, empty);
                     let hit = m[st].andnot(s.cmpeq(tk, k[st]));
                     if hit.any() {
@@ -817,6 +853,7 @@ pub fn dh_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
                     }
                     loop {
                         let pair = pairs[hh];
+                        probes += 1;
                         let tk = pair as u32;
                         if tk == EMPTY_KEY {
                             break;
@@ -836,6 +873,7 @@ pub fn dh_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
                     let mut hh = h1.bucket(key, t);
                     loop {
                         let pair = pairs[hh];
+                        probes += 1;
                         let tk = pair as u32;
                         if tk == EMPTY_KEY {
                             break;
@@ -850,6 +888,7 @@ pub fn dh_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
                     }
                 }
             }
+            rsv_metrics::count(Metric::DhProbes, probes);
         },
     );
 }

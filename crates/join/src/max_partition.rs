@@ -83,6 +83,9 @@ pub fn join_max_partition_policy<S: Simd>(
     // ------------------------------------------------------------------
     let t0 = Instant::now();
     let fanout1 = inner.len().div_ceil(part_target).clamp(1, MAX_PASS_FANOUT);
+    rsv_metrics::count(rsv_metrics::Metric::JoinBuildTuples, inner.len() as u64);
+    rsv_metrics::count(rsv_metrics::Metric::JoinProbeTuples, outer.len() as u64);
+    rsv_metrics::count(rsv_metrics::Metric::JoinPartitionFanout, fanout1 as u64);
     let f1 = HashFn::with_factor(fanout1, f1_factor);
 
     let mut stats = SchedulerStats::default();
@@ -124,6 +127,7 @@ pub fn join_max_partition_policy<S: Simd>(
         let mut sk = vec![0u32; ik.len().max(ok_.len())];
         let mut sp = vec![0u32; ik.len().max(ok_.len())];
         for &(p, sub_fanout) in &second {
+            rsv_metrics::count(rsv_metrics::Metric::JoinPartitionFanout, sub_fanout as u64);
             let f2 = HashFn::with_factor(sub_fanout, f2_factor);
             let ir = istarts[p] as usize..istarts[p] as usize + ihist[p] as usize;
             let or = ostarts[p] as usize..ostarts[p] as usize + ohist[p] as usize;

@@ -43,6 +43,9 @@ pub fn join_min_partition_policy<S: Simd>(
 ) -> (JoinResult, SchedulerStats) {
     let threads = policy.threads;
     let parts = threads;
+    rsv_metrics::count(rsv_metrics::Metric::JoinBuildTuples, inner.len() as u64);
+    rsv_metrics::count(rsv_metrics::Metric::JoinProbeTuples, outer.len() as u64);
+    rsv_metrics::count(rsv_metrics::Metric::JoinPartitionFanout, parts as u64);
     let part_fn = HashFn::with_factor(parts, MulHash::nth(2).factor());
     let table_hash = MulHash::nth(0);
 
@@ -120,6 +123,7 @@ pub fn join_min_partition_policy<S: Simd>(
                         &mut sink,
                     );
                 } else {
+                    rsv_metrics::count(rsv_metrics::Metric::LpKeysProbed, r.len() as u64);
                     for i in r {
                         let k = outer.keys[i];
                         let p = part_fn.partition(k);
@@ -173,6 +177,8 @@ fn probe_vertical_multi<S: Simd>(
         || {
             let w = S::LANES;
             let n = keys.len();
+            rsv_metrics::count(rsv_metrics::Metric::LpKeysProbed, n as u64);
+            let mut probes = 0u64;
             let f = s.splat(table_hash.factor());
             let tn = s.splat(tsize as u32);
             let empty = s.splat(EMPTY_KEY);
@@ -192,6 +198,7 @@ fn probe_vertical_multi<S: Simd>(
                 local = s.blend(over, s.sub(local, tn), local);
                 let h = s.add(s.mullo(part, tn), local);
                 let (tk, tv) = s.gather_pairs(pairs, h);
+                probes += w as u64;
                 m = s.cmpeq(tk, empty);
                 let hit = m.andnot(s.cmpeq(tk, k));
                 if hit.any() {
@@ -203,6 +210,7 @@ fn probe_vertical_multi<S: Simd>(
                 }
                 o = s.blend(m, s.zero(), s.add(o, one));
             }
+            rsv_metrics::count(rsv_metrics::Metric::LpProbes, probes);
             let mut ka = [0u32; MAX_LANES];
             let mut va = [0u32; MAX_LANES];
             let mut oa = [0u32; MAX_LANES];

@@ -65,6 +65,8 @@ pub fn join_no_partition_policy<S: Simd>(
     policy: &ExecPolicy,
 ) -> (JoinResult, SchedulerStats) {
     let t = policy.threads;
+    rsv_metrics::count(rsv_metrics::Metric::JoinBuildTuples, inner.len() as u64);
+    rsv_metrics::count(rsv_metrics::Metric::JoinProbeTuples, outer.len() as u64);
     let hash = MulHash::nth(0);
     let buckets = (inner.len() * 2).max(inner.len() + 1).max(2);
     let table: Vec<AtomicU64> = (0..buckets).map(|_| AtomicU64::new(EMPTY_PAIR)).collect();

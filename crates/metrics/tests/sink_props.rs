@@ -1,0 +1,97 @@
+//! Algebraic properties of [`CountingSink::merge`].
+//!
+//! Profiles merge sinks across repeats and across parallel regions, so
+//! `merge` must be a per-worker sum: commutative, associative, and with
+//! `CountingSink::default()` as the identity — exactly (`Eq`), histograms
+//! included. Sinks are generated through the real thread-local metering
+//! path (`count`/`add_scan_lanes`/`flush_worker`), so the properties also
+//! cover the plumbing that fills worker slots.
+
+use rsv_metrics::{CountingSink, Metric, LANE_BUCKETS, SCAN_VARIANTS, WIDTH_BUCKETS};
+use rsv_testkit::Rng;
+
+fn random_sink(rng: &mut Rng) -> CountingSink {
+    let workers = rng.index(4);
+    let mut plan: Vec<Box<dyn FnMut()>> = Vec::new();
+    // draw the plan up front so rng state never depends on metering
+    for _ in 0..workers {
+        let counts: Vec<(Metric, u64)> = (0..rng.index(8))
+            .map(|_| (Metric::ALL[rng.index(Metric::ALL.len())], rng.below(1_000)))
+            .collect();
+        let lanes = if rng.f64() < 0.5 {
+            let mut h = [0u64; LANE_BUCKETS];
+            for b in h.iter_mut() {
+                *b = rng.below(5);
+            }
+            Some((rng.index(SCAN_VARIANTS), h))
+        } else {
+            None
+        };
+        let width = (rng.index(WIDTH_BUCKETS), rng.below(10));
+        let ns = rng.below(1 << 30);
+        plan.push(Box::new(move || {
+            for &(m, n) in &counts {
+                rsv_metrics::count(m, n);
+            }
+            if let Some((variant, h)) = lanes {
+                rsv_metrics::add_scan_lanes(variant, &h);
+            }
+            rsv_metrics::count_blocks_decoded(width.0, width.1);
+            rsv_metrics::record_phase_ns(ns);
+        }));
+    }
+    let ((), sink) = rsv_metrics::collect(|| {
+        for (w, work) in plan.iter_mut().enumerate() {
+            work();
+            rsv_metrics::flush_worker(w);
+        }
+    });
+    sink
+}
+
+fn merged(a: &CountingSink, b: &CountingSink) -> CountingSink {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+#[test]
+fn merge_is_commutative() {
+    rsv_testkit::check("sink-merge-commutative", 100, 0x5349_4E4B, |rng| {
+        let a = random_sink(rng);
+        let b = random_sink(rng);
+        assert_eq!(merged(&a, &b), merged(&b, &a));
+    });
+}
+
+#[test]
+fn merge_is_associative() {
+    rsv_testkit::check("sink-merge-associative", 100, 0x5349_4E4C, |rng| {
+        let a = random_sink(rng);
+        let b = random_sink(rng);
+        let c = random_sink(rng);
+        assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    });
+}
+
+#[test]
+fn default_is_the_identity() {
+    rsv_testkit::check("sink-merge-identity", 100, 0x5349_4E4D, |rng| {
+        let a = random_sink(rng);
+        assert_eq!(merged(&a, &CountingSink::default()), a);
+        assert_eq!(merged(&CountingSink::default(), &a), a);
+    });
+}
+
+#[test]
+fn merge_distributes_over_totals() {
+    rsv_testkit::check("sink-merge-totals", 100, 0x5349_4E4E, |rng| {
+        let a = random_sink(rng);
+        let b = random_sink(rng);
+        let m = merged(&a, &b).total();
+        let (ta, tb) = (a.total(), b.total());
+        for metric in Metric::ALL {
+            assert_eq!(m.get(metric), ta.get(metric) + tb.get(metric));
+        }
+    });
+}

@@ -12,6 +12,7 @@
 //! * [`histogram_vector_compressed`] — replicated **8-bit** counts (fitting
 //!   4× more fanout in cache), flushed to 32-bit totals on overflow.
 
+use rsv_metrics::Metric;
 use rsv_simd::{MaskLike, Simd};
 
 use crate::conflict::serialize_conflicts_native;
@@ -19,6 +20,7 @@ use crate::PartitionFn;
 
 /// Scalar histogram: one increment per key.
 pub fn histogram_scalar<F: PartitionFn>(f: F, keys: &[u32]) -> Vec<u32> {
+    rsv_metrics::count(Metric::PartHistTuples, keys.len() as u64);
     let mut hist = vec![0u32; f.fanout()];
     for &k in keys {
         hist[f.partition(k)] += 1;
@@ -28,6 +30,7 @@ pub fn histogram_scalar<F: PartitionFn>(f: F, keys: &[u32]) -> Vec<u32> {
 
 /// Vectorized histogram with `W`-way count replication (Algorithm 11).
 pub fn histogram_vector_replicated<S: Simd, F: PartitionFn>(s: S, f: F, keys: &[u32]) -> Vec<u32> {
+    rsv_metrics::count(Metric::PartHistTuples, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {
@@ -70,10 +73,13 @@ fn reduce_replicated<S: Simd>(s: S, partial: &[u32], p: usize) -> Vec<u32> {
 /// Vectorized histogram over a single (non-replicated) count array, using
 /// conflict serialization per input vector.
 pub fn histogram_vector_serialized<S: Simd, F: PartitionFn>(s: S, f: F, keys: &[u32]) -> Vec<u32> {
+    rsv_metrics::count(Metric::PartHistTuples, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {
             let w = S::LANES;
+            let metered = rsv_metrics::enabled();
+            let mut conflicts = 0u64;
             let mut hist = vec![0u32; f.fanout()];
             let one = s.splat(1);
             let mut i = 0usize;
@@ -82,11 +88,17 @@ pub fn histogram_vector_serialized<S: Simd, F: PartitionFn>(s: S, f: F, keys: &[
                 let h = f.partition_vector(s, k);
                 let c = s.gather(&hist, h);
                 let ser = serialize_conflicts_native(s, h);
+                if metered {
+                    // lanes with a nonzero serial offset had to wait behind
+                    // an earlier lane of the same partition
+                    conflicts += s.cmpeq(ser, s.zero()).not().count() as u64;
+                }
                 // rightmost lane of each conflict group carries the largest
                 // serial offset, so its write is the correct new count
                 s.scatter(&mut hist, h, s.add(c, s.add(ser, one)));
                 i += w;
             }
+            rsv_metrics::count(Metric::PartConflictsSerialized, conflicts);
             for &k in &keys[i..] {
                 hist[f.partition(k)] += 1;
             }
@@ -102,6 +114,7 @@ pub fn histogram_vector_serialized<S: Simd, F: PartitionFn>(s: S, f: F, keys: &[
 /// Each lane owns a private, 4-byte-padded region of byte counts, so the
 /// emulated byte scatters never collide within a word.
 pub fn histogram_vector_compressed<S: Simd, F: PartitionFn>(s: S, f: F, keys: &[u32]) -> Vec<u32> {
+    rsv_metrics::count(Metric::PartHistTuples, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {

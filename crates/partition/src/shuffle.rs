@@ -21,6 +21,7 @@
 //! to the next iteration.
 
 use rsv_exec::AlignedVec;
+use rsv_metrics::Metric;
 use rsv_simd::{MaskLike, Simd};
 
 use crate::conflict::serialize_conflicts_native;
@@ -56,6 +57,7 @@ pub fn shuffle_scalar_unbuffered<F: PartitionFn>(
     out_pays: &mut [u32],
 ) -> Vec<u32> {
     check_inputs(&f, keys, pays, hist, out_keys.len().min(out_pays.len()));
+    rsv_metrics::count(Metric::PartShuffleTuples, keys.len() as u64);
     let (base, _) = prefix_sum(hist, 0);
     let mut off = base.clone();
     for (&k, &v) in keys.iter().zip(pays) {
@@ -109,6 +111,8 @@ pub fn shuffle_scalar_buffered_core<F: PartitionFn>(
         f.fanout() * SCALAR_SLOTS,
         "staging buffer size mismatch"
     );
+    rsv_metrics::count(Metric::PartShuffleTuples, keys.len() as u64);
+    let mut flushes = 0u64;
     for (&k, &v) in keys.iter().zip(pays) {
         let p = f.partition(k);
         let o = off[p] as usize;
@@ -117,6 +121,7 @@ pub fn shuffle_scalar_buffered_core<F: PartitionFn>(
         off[p] = (o + 1) as u32;
         if slot == SCALAR_SLOTS - 1 {
             // a full line: flush it to the (aligned) output region
+            flushes += 1;
             let target = o + 1 - SCALAR_SLOTS;
             for j in 0..SCALAR_SLOTS {
                 let pr = buf[p * SCALAR_SLOTS + j];
@@ -125,6 +130,7 @@ pub fn shuffle_scalar_buffered_core<F: PartitionFn>(
             }
         }
     }
+    rsv_metrics::count(Metric::PartBufferFlushes, flushes);
 }
 
 /// Slots per partition used by [`shuffle_scalar_buffered_core`].
@@ -147,14 +153,22 @@ pub fn shuffle_buffer_cleanup(
     out_pays: &mut [u32],
 ) {
     debug_assert!(slots.is_power_of_two());
+    let mut flushed = 0u64;
+    let mut residual = 0u64;
     for p in 0..base.len() {
         let start = (off[p] as usize & !(slots - 1)).max(base[p] as usize);
+        // tuples below `start` reached the output through full-line
+        // flushes; the rest are written here from the staging buffer
+        flushed += (start - base[p] as usize) as u64;
+        residual += (off[p] as usize - start) as u64;
         for q in start..off[p] as usize {
             let pr = buf[p * slots + (q & (slots - 1))];
             out_keys[q] = pr as u32;
             out_pays[q] = (pr >> 32) as u32;
         }
     }
+    rsv_metrics::count(Metric::PartTuplesFlushed, flushed);
+    rsv_metrics::count(Metric::PartTuplesResidual, residual);
 }
 
 /// Vectorized unbuffered shuffling (paper Algorithm 14): gather offsets,
@@ -170,12 +184,15 @@ pub fn shuffle_vector_unbuffered<S: Simd, F: PartitionFn>(
     out_pays: &mut [u32],
 ) -> Vec<u32> {
     check_inputs(&f, keys, pays, hist, out_keys.len().min(out_pays.len()));
+    rsv_metrics::count(Metric::PartShuffleTuples, keys.len() as u64);
     let (base, _) = prefix_sum(hist, 0);
     let mut off = base.clone();
     s.vectorize(
         #[inline(always)]
         || {
             let w = S::LANES;
+            let metered = rsv_metrics::enabled();
+            let mut conflicts = 0u64;
             let one = s.splat(1);
             let mut i = 0usize;
             while i + w <= keys.len() {
@@ -184,12 +201,16 @@ pub fn shuffle_vector_unbuffered<S: Simd, F: PartitionFn>(
                 let h = f.partition_vector(s, k);
                 let o = s.gather(&off, h);
                 let c = serialize_conflicts_native(s, h);
+                if metered {
+                    conflicts += s.cmpeq(c, s.zero()).not().count() as u64;
+                }
                 let pos = s.add(o, c);
                 s.scatter(&mut off, h, s.add(pos, one));
                 s.scatter(out_keys, pos, k);
                 s.scatter(out_pays, pos, v);
                 i += w;
             }
+            rsv_metrics::count(Metric::PartConflictsSerialized, conflicts);
             for idx in i..keys.len() {
                 let p = f.partition(keys[idx]);
                 let o = off[p] as usize;
@@ -275,9 +296,14 @@ pub fn shuffle_vector_buffered_core<S: Simd, F: PartitionFn>(
 ) {
     let w = S::LANES;
     assert_eq!(buf.len(), f.fanout() * w, "staging buffer size mismatch");
+    rsv_metrics::count(Metric::PartShuffleTuples, keys.len() as u64);
     s.vectorize(
         #[inline(always)]
         || {
+            let metered = rsv_metrics::enabled();
+            let mut conflicts = 0u64;
+            let mut flushes = 0u64;
+            let mut stream_bytes = 0u64;
             let one = s.splat(1);
             let wv = s.splat(w as u32);
             let wm1 = s.splat(w as u32 - 1);
@@ -303,12 +329,18 @@ pub fn shuffle_vector_buffered_core<S: Simd, F: PartitionFn>(
                 if stable {
                     active = S::M::all();
                     c = serialize_conflicts_native(s, h);
+                    if metered {
+                        conflicts += s.cmpeq(c, s.zero()).not().count() as u64;
+                    }
                 } else {
                     // process only the first lane of each conflict group;
                     // the rest retry next iteration
                     let conf = serialize_conflicts_native(s, h);
                     active = s.cmpeq(conf, s.zero());
                     c = s.zero();
+                    if metered {
+                        conflicts += active.not().count() as u64;
+                    }
                 }
                 let o = s.gather_masked(s.zero(), active, off, h);
                 let pos = s.add(o, c);
@@ -323,6 +355,8 @@ pub fn shuffle_vector_buffered_core<S: Simd, F: PartitionFn>(
                 let trigger = active.and(s.cmpeq(ob, wm1));
                 if trigger.any() {
                     let n_flush = s.selective_store(&mut flush_parts[..], trigger, h);
+                    flushes += n_flush as u64;
+                    stream_bytes += (n_flush * w * 8) as u64;
                     for &p in &flush_parts[..n_flush] {
                         let p = p as usize;
                         // the line just completed ends at the last offset
@@ -362,6 +396,7 @@ pub fn shuffle_vector_buffered_core<S: Simd, F: PartitionFn>(
                 buf[p * w + slot] = pair(kk, vv);
                 off[p] = (o + 1) as u32;
                 if slot == w - 1 {
+                    flushes += 1;
                     let target = o + 1 - w;
                     for j in 0..w {
                         let pr = buf[p * w + j];
@@ -370,6 +405,9 @@ pub fn shuffle_vector_buffered_core<S: Simd, F: PartitionFn>(
                     }
                 }
             }
+            rsv_metrics::count(Metric::PartConflictsSerialized, conflicts);
+            rsv_metrics::count(Metric::PartBufferFlushes, flushes);
+            rsv_metrics::count(Metric::PartStreamingStoreBytes, stream_bytes);
         },
     );
 }

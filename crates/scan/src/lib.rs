@@ -80,6 +80,19 @@ impl ScanVariant {
         ScanVariant::VectorSelStoreIndirect,
     ];
 
+    /// This variant's position in [`ScanVariant::ALL`], used to index the
+    /// lanes-active histograms in `rsv_metrics::Counters::scan_lanes`.
+    pub fn index(self) -> usize {
+        match self {
+            ScanVariant::ScalarBranching => 0,
+            ScanVariant::ScalarBranchless => 1,
+            ScanVariant::VectorBitExtractDirect => 2,
+            ScanVariant::VectorSelStoreDirect => 3,
+            ScanVariant::VectorBitExtractIndirect => 4,
+            ScanVariant::VectorSelStoreIndirect => 5,
+        }
+    }
+
     /// Short label used in experiment output.
     pub fn label(self) -> &'static str {
         match self {
@@ -106,7 +119,7 @@ pub fn scan(
     out_keys: &mut [u32],
     out_pays: &mut [u32],
 ) -> usize {
-    match variant {
+    let count = match variant {
         ScanVariant::ScalarBranching => scan_scalar_branching(keys, pays, pred, out_keys, out_pays),
         ScanVariant::ScalarBranchless => {
             scan_scalar_branchless(keys, pays, pred, out_keys, out_pays)
@@ -123,5 +136,8 @@ pub fn scan(
         ScanVariant::VectorSelStoreIndirect => rsv_simd::dispatch!(backend, s => {
             scan_vector_selstore_indirect(s, keys, pays, pred, out_keys, out_pays)
         }),
-    }
+    };
+    rsv_metrics::count(rsv_metrics::Metric::ScanTuplesIn, keys.len() as u64);
+    rsv_metrics::count(rsv_metrics::Metric::ScanTuplesOut, count as u64);
+    count
 }

@@ -2,7 +2,7 @@
 
 use rsv_simd::{MaskLike, Simd};
 
-use crate::ScanPredicate;
+use crate::{ScanPredicate, ScanVariant};
 
 /// Size (in entries) of the cache-resident qualifier-index buffer used by
 /// the indirect variants. 1024 × 4 B = 4 KB, comfortably L1-resident.
@@ -52,17 +52,25 @@ pub fn scan_vector_bitextract_direct<S: Simd>(
             let w = S::LANES;
             let lower = s.splat(pred.lower);
             let upper = s.splat(pred.upper);
+            let metered = rsv_metrics::enabled();
+            let mut lanes = [0u64; rsv_metrics::LANE_BUCKETS];
             let mut j = 0;
             let mut i = 0;
             while i + w <= keys.len() {
                 let k = s.load(&keys[i..]);
                 let m = predicate_mask(s, k, lower, upper);
+                if metered {
+                    lanes[m.count()] += 1;
+                }
                 for lane in m.iter_set() {
                     out_keys[j] = keys[i + lane];
                     out_pays[j] = pays[i + lane];
                     j += 1;
                 }
                 i += w;
+            }
+            if metered {
+                rsv_metrics::add_scan_lanes(ScanVariant::VectorBitExtractDirect.index(), &lanes);
             }
             scalar_tail(keys, pays, pred, out_keys, out_pays, j, i)
         },
@@ -86,17 +94,25 @@ pub fn scan_vector_selstore_direct<S: Simd>(
             let w = S::LANES;
             let lower = s.splat(pred.lower);
             let upper = s.splat(pred.upper);
+            let metered = rsv_metrics::enabled();
+            let mut lanes = [0u64; rsv_metrics::LANE_BUCKETS];
             let mut j = 0;
             let mut i = 0;
             while i + w <= keys.len() {
                 let k = s.load(&keys[i..]);
                 let m = predicate_mask(s, k, lower, upper);
+                if metered {
+                    lanes[m.count()] += 1;
+                }
                 if m.any() {
                     let v = s.load(&pays[i..]);
                     s.selective_store(&mut out_keys[j..], m, k);
                     j += s.selective_store(&mut out_pays[j..], m, v);
                 }
                 i += w;
+            }
+            if metered {
+                rsv_metrics::add_scan_lanes(ScanVariant::VectorSelStoreDirect.index(), &lanes);
             }
             scalar_tail(keys, pays, pred, out_keys, out_pays, j, i)
         },
@@ -124,6 +140,8 @@ pub fn scan_vector_bitextract_indirect<S: Simd>(
             let w = S::LANES;
             let lower = s.splat(pred.lower);
             let upper = s.splat(pred.upper);
+            let metered = rsv_metrics::enabled();
+            let mut lanes = [0u64; rsv_metrics::LANE_BUCKETS];
             let mut buf = [0u32; BUF_LEN];
             let mut j = 0;
             let mut l = 0;
@@ -131,6 +149,9 @@ pub fn scan_vector_bitextract_indirect<S: Simd>(
             while i + w <= keys.len() {
                 let k = s.load(&keys[i..]);
                 let m = predicate_mask(s, k, lower, upper);
+                if metered {
+                    lanes[m.count()] += 1;
+                }
                 for lane in m.iter_set() {
                     buf[l] = (i + lane) as u32;
                     l += 1;
@@ -141,6 +162,9 @@ pub fn scan_vector_bitextract_indirect<S: Simd>(
                     l -= BUF_LEN - w;
                 }
                 i += w;
+            }
+            if metered {
+                rsv_metrics::add_scan_lanes(ScanVariant::VectorBitExtractIndirect.index(), &lanes);
             }
             j = drain_buffer(&buf[..l], keys, pays, out_keys, out_pays, j);
             scalar_tail(keys, pays, pred, out_keys, out_pays, j, i)
@@ -171,6 +195,8 @@ pub fn scan_vector_selstore_indirect<S: Simd>(
             let upper = s.splat(pred.upper);
             let step = s.splat(w as u32);
             let mut rid = s.iota();
+            let metered = rsv_metrics::enabled();
+            let mut lanes = [0u64; rsv_metrics::LANE_BUCKETS];
             let mut buf = [0u32; BUF_LEN];
             let mut j = 0;
             let mut l = 0;
@@ -178,6 +204,9 @@ pub fn scan_vector_selstore_indirect<S: Simd>(
             while i + w <= keys.len() {
                 let k = s.load(&keys[i..]);
                 let m = predicate_mask(s, k, lower, upper);
+                if metered {
+                    lanes[m.count()] += 1;
+                }
                 if m.any() {
                     l += s.selective_store(&mut buf[l..], m, rid);
                     if l > BUF_LEN - w {
@@ -188,6 +217,9 @@ pub fn scan_vector_selstore_indirect<S: Simd>(
                 }
                 rid = s.add(rid, step);
                 i += w;
+            }
+            if metered {
+                rsv_metrics::add_scan_lanes(ScanVariant::VectorSelStoreIndirect.index(), &lanes);
             }
             j = drain_buffer(&buf[..l], keys, pays, out_keys, out_pays, j);
             scalar_tail(keys, pays, pred, out_keys, out_pays, j, i)

@@ -92,6 +92,8 @@ fn radixsort_pairs<S: Simd>(
     let mut dst_p = vec![0u32; n];
     for pass in 0..cfg.passes() {
         let f = cfg.pass_fn(pass);
+        rsv_metrics::count(rsv_metrics::Metric::SortPasses, 1);
+        rsv_metrics::count(rsv_metrics::Metric::SortBytesMoved, 8 * n as u64);
         let (_, pass_stats) = partition_pass_policy(
             s, vectorized, f, &src_k, &src_p, &mut dst_k, &mut dst_p, &policy,
         );
@@ -324,6 +326,8 @@ fn radixsort_keys<S: Simd>(
     let mut dst = vec![0u32; n];
     for pass in 0..cfg.passes() {
         let f = cfg.pass_fn(pass);
+        rsv_metrics::count(rsv_metrics::Metric::SortPasses, 1);
+        rsv_metrics::count(rsv_metrics::Metric::SortBytesMoved, 4 * n as u64);
         stats.merge(&pass_keys(s, vectorized, f, &src, &mut dst, &policy));
         std::mem::swap(&mut src, &mut dst);
     }

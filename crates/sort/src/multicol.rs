@@ -91,11 +91,14 @@ pub fn lsb_radixsort_multicol<S: Simd>(
         assert_eq!(c.len(), keys.len(), "column length mismatch");
     }
     let n = keys.len();
+    let row_bytes = 4 + columns.iter().map(PayloadColumn::width).sum::<usize>();
     let mut src = std::mem::take(keys);
     let mut dst = vec![0u32; n];
     let mut dest = vec![0u32; n];
     for pass in 0..cfg.passes() {
         let f = cfg.pass_fn(pass);
+        rsv_metrics::count(rsv_metrics::Metric::SortPasses, 1);
+        rsv_metrics::count(rsv_metrics::Metric::SortBytesMoved, (row_bytes * n) as u64);
         let hist = histogram_scalar(f, &src);
         compute_destinations(s, f, &src, &hist, &mut dest, &mut dst);
         std::mem::swap(&mut src, &mut dst);

@@ -246,6 +246,94 @@ fn run_case(op: &DiffOp, case_seed: u64, cfg: &DiffConfig) -> u64 {
     runs
 }
 
+/// One metered kernel execution handed to [`run_registry_metered`]'s
+/// callback.
+pub struct MeteredRun<'a> {
+    /// Registered operator name.
+    pub op: &'static str,
+    /// Kernel name within the operator.
+    pub kernel: &'static str,
+    /// Backend the kernel ran on.
+    pub backend: Backend,
+    /// Worker thread count.
+    pub threads: usize,
+    /// The generated case (its seed replays via `RSV_DIFF_SEED`).
+    pub input: &'a CaseInput,
+    /// The kernel's canonical output bytes.
+    pub output: &'a [u8],
+    /// Counters merged across every worker of the metered run.
+    pub counters: rsv_metrics::Counters,
+}
+
+/// Run every registered kernel under the metrics layer
+/// ([`rsv_metrics::collect`]) and hand each execution's merged counters to
+/// `check`. The scalar references are *not* executed: this drives metric
+/// oracles (invariants over the counters), not output comparison — that
+/// is [`run_registry`]'s job. A panic inside `check` prints the same
+/// replay incantation as a differential mismatch before propagating.
+pub fn run_registry_metered(
+    registry: &Registry,
+    cfg: &DiffConfig,
+    check: &mut dyn FnMut(&MeteredRun<'_>),
+) {
+    let mut kernel_runs = 0u64;
+    let one_thread = [1usize];
+    for op in registry.ops() {
+        if let Some(f) = &cfg.op_filter {
+            if !op.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let case_seeds: Vec<u64> = match cfg.replay_seed {
+            Some(s) => vec![s],
+            None => (0..cfg.cases)
+                .map(|c| crate::case_seed(cfg.seed, c))
+                .collect(),
+        };
+        for case_seed in case_seeds {
+            let input = crate::arbitrary::case_input(case_seed);
+            for kernel in &op.kernels {
+                let threads: &[usize] = if kernel.threaded {
+                    &cfg.thread_counts
+                } else {
+                    &one_thread
+                };
+                for &backend in &cfg.backends {
+                    for &t in threads {
+                        let (output, sink) =
+                            rsv_metrics::collect(|| (kernel.run)(backend, t, &input));
+                        kernel_runs += 1;
+                        let run = MeteredRun {
+                            op: op.name,
+                            kernel: kernel.name,
+                            backend,
+                            threads: t,
+                            input: &input,
+                            output: &output,
+                            counters: sink.total(),
+                        };
+                        let verdict =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&run)));
+                        if let Err(payload) = verdict {
+                            eprintln!(
+                                "metric oracle failed: op `{}` kernel `{}` backend `{}` \
+                                 threads {t}\n  replay: {}",
+                                op.name,
+                                kernel.name,
+                                backend.name(),
+                                replay_line(op.name, case_seed),
+                            );
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(kernel_runs > 0, "metered run executed no kernels");
+    eprintln!("metered: {kernel_runs} kernel runs checked");
+}
+
 fn first_divergence(a: &[u8], b: &[u8]) -> usize {
     a.iter()
         .zip(b)
