@@ -42,9 +42,13 @@ pub use rsv_join::{JoinResult, JoinVariant};
 pub use rsv_simd::Backend;
 pub use rsv_sort::SortConfig;
 
+pub use rsv_exec::{CancelToken, EngineError, MemoryBudget, RunContext};
+
 use rsv_exec::{
-    parallel_scope_stats, ExecPolicy, MorselQueue, SharedBuffer, DEFAULT_MORSEL_TUPLES,
+    parallel_scope_stats, parallel_scope_try, ExecPolicy, MorselQueue, SharedBuffer,
+    DEFAULT_MORSEL_TUPLES,
 };
+use rsv_partition::twopass::MAX_DIRECT_FANOUT;
 use rsv_partition::PartitionFn;
 use rsv_scan::{ScanPredicate, ScanVariant};
 use rsv_simd::dispatch;
@@ -87,19 +91,19 @@ impl Engine {
         }
     }
 
-    /// Set the worker thread count for parallel operators.
+    /// Set the worker thread count for parallel operators. Values below 1
+    /// are clamped to 1 (a builder knob misconfigured from e.g. an empty
+    /// CPU set should degrade to single-threaded, not crash the query).
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads >= 1);
-        self.threads = threads;
+        self.threads = threads.max(1);
         self
     }
 
     /// Set the scheduling granularity in tuples per morsel
     /// (`usize::MAX` = one morsel per worker, the paper's static split).
-    /// Never changes operator output.
+    /// Never changes operator output. Values below 1 are clamped to 1.
     pub fn with_morsel_tuples(mut self, morsel_tuples: usize) -> Self {
-        assert!(morsel_tuples >= 1);
-        self.morsel_tuples = morsel_tuples;
+        self.morsel_tuples = morsel_tuples.max(1);
         self
     }
 
@@ -110,6 +114,10 @@ impl Engine {
 
     fn policy(&self) -> ExecPolicy {
         ExecPolicy::new(self.threads).with_morsel_tuples(self.morsel_tuples)
+    }
+
+    fn policy_with(&self, run: &RunContext) -> ExecPolicy {
+        self.policy().with_run(run.clone())
     }
 
     /// Selection scan: all tuples with `lower ≤ key ≤ upper` (paper §4,
@@ -131,6 +139,41 @@ impl Engine {
         out_keys.truncate(n);
         out_pays.truncate(n);
         Relation::new(out_keys, out_pays)
+    }
+
+    /// Fallible [`Engine::select`] under a [`RunContext`]: the output
+    /// buffers are gated by the run's memory budget, cancellation is
+    /// observed at morsel-claim boundaries (so the latency from
+    /// [`CancelToken::cancel`] to return is bounded by one morsel), and a
+    /// worker panic surfaces as [`EngineError::WorkerPanicked`] instead of
+    /// unwinding through the caller.
+    pub fn try_select(
+        &self,
+        rel: &Relation,
+        lower: u32,
+        upper: u32,
+        run: &RunContext,
+    ) -> Result<Relation, EngineError> {
+        let pred = ScanPredicate { lower, upper };
+        let out_bytes = 2 * (rel.len() as u64) * std::mem::size_of::<u32>() as u64;
+        run.reserve(out_bytes)?;
+        let mut out_keys = vec![0u32; rel.len()];
+        let mut out_pays = vec![0u32; rel.len()];
+        let r = rsv_scan::scan_parallel_try(
+            self.backend,
+            ScanVariant::VectorSelStoreIndirect,
+            &rel.keys,
+            &rel.payloads,
+            pred,
+            &mut out_keys,
+            &mut out_pays,
+            &self.policy_with(run),
+        );
+        run.budget.release(out_bytes);
+        let (n, _) = r?;
+        out_keys.truncate(n);
+        out_pays.truncate(n);
+        Ok(Relation::new(out_keys, out_pays))
     }
 
     /// Compress a relation's columns (FOR + bit-packing, block directory)
@@ -195,6 +238,48 @@ impl Engine {
                     rsv_join::join_max_partition_policy(
                         s, true, inner, outer, &policy, rsv_join::DEFAULT_PART_TUPLES,
                     ).0
+                }
+            }
+        })
+    }
+
+    /// Fallible [`Engine::hash_join`] (max-partition variant) under a
+    /// [`RunContext`].
+    pub fn try_hash_join(
+        &self,
+        inner: &Relation,
+        outer: &Relation,
+        run: &RunContext,
+    ) -> Result<JoinResult, EngineError> {
+        self.try_hash_join_variant(inner, outer, JoinVariant::MaxPartition, run)
+    }
+
+    /// Fallible [`Engine::hash_join_variant`] under a [`RunContext`]:
+    /// partitioned columns and hash tables are gated by the memory budget,
+    /// cancellation is observed at every morsel/task claim, and worker
+    /// panics surface as [`EngineError::WorkerPanicked`].
+    pub fn try_hash_join_variant(
+        &self,
+        inner: &Relation,
+        outer: &Relation,
+        variant: JoinVariant,
+        run: &RunContext,
+    ) -> Result<JoinResult, EngineError> {
+        let policy = self.policy_with(run);
+        dispatch!(self.backend, s => {
+            match variant {
+                JoinVariant::NoPartition => {
+                    rsv_join::join_no_partition_policy_try(s, true, inner, outer, &policy)
+                        .map(|r| r.0)
+                }
+                JoinVariant::MinPartition => {
+                    rsv_join::join_min_partition_policy_try(s, true, inner, outer, &policy)
+                        .map(|r| r.0)
+                }
+                JoinVariant::MaxPartition => {
+                    rsv_join::join_max_partition_policy_try(
+                        s, true, inner, outer, &policy, rsv_join::DEFAULT_PART_TUPLES,
+                    ).map(|r| r.0)
                 }
             }
         })
@@ -277,20 +362,70 @@ impl Engine {
         rel.payloads = pays;
     }
 
+    /// Fallible [`Engine::sort`] under a [`RunContext`]: the radixsort's
+    /// ping-pong scratch columns are gated by the memory budget and
+    /// cancellation is observed at morsel-claim boundaries of every pass.
+    /// On error the relation keeps its tuples (possibly partially
+    /// reordered — rerun to completion to sort them).
+    pub fn try_sort(&self, rel: &mut Relation, run: &RunContext) -> Result<(), EngineError> {
+        let cfg = SortConfig {
+            radix_bits: 8,
+            threads: self.threads,
+            morsel_tuples: self.morsel_tuples,
+        };
+        let mut keys = std::mem::take(&mut rel.keys);
+        let mut pays = std::mem::take(&mut rel.payloads);
+        let r = dispatch!(self.backend, s => {
+            rsv_sort::radixsort_pairs_try(s, true, &mut keys, &mut pays, &cfg, run)
+        });
+        rel.keys = keys;
+        rel.payloads = pays;
+        r.map(|_| ())
+    }
+
     /// Hash-partition a relation into `fanout` parts (paper §7, buffered
     /// shuffling), morsel-parallel and stable. Returns the partitioned
     /// relation and the partition start offsets.
+    ///
+    /// Fanouts past [`rsv_partition::twopass::MAX_DIRECT_FANOUT`] degrade
+    /// transparently to a two-pass decomposition (the single-pass staging
+    /// buffers would outgrow the cache) with byte-identical output.
     pub fn hash_partition(&self, rel: &Relation, fanout: usize) -> (Relation, Vec<u32>) {
         let f = rsv_partition::HashFn::new(fanout);
         let mut out_keys = vec![0u32; rel.len()];
         let mut out_pays = vec![0u32; rel.len()];
         let pass = dispatch!(self.backend, s => {
-            rsv_partition::parallel::partition_pass_policy(
+            rsv_partition::twopass::hash_partition_twopass(
                 s, true, f, &rel.keys, &rel.payloads, &mut out_keys, &mut out_pays,
-                &self.policy(),
+                &self.policy(), MAX_DIRECT_FANOUT,
             ).0
         });
         (Relation::new(out_keys, out_pays), pass.partition_starts)
+    }
+
+    /// Fallible [`Engine::hash_partition`] under a [`RunContext`]: the
+    /// output (and any two-pass scratch) columns are gated by the memory
+    /// budget and cancellation is observed at morsel-claim boundaries.
+    pub fn try_hash_partition(
+        &self,
+        rel: &Relation,
+        fanout: usize,
+        run: &RunContext,
+    ) -> Result<(Relation, Vec<u32>), EngineError> {
+        let f = rsv_partition::HashFn::new(fanout);
+        let out_bytes = 2 * (rel.len() as u64) * std::mem::size_of::<u32>() as u64;
+        run.reserve(out_bytes)?;
+        let mut out_keys = vec![0u32; rel.len()];
+        let mut out_pays = vec![0u32; rel.len()];
+        let r = dispatch!(self.backend, s => {
+            rsv_partition::twopass::hash_partition_twopass_try(
+                s, true, f, &rel.keys, &rel.payloads, &mut out_keys, &mut out_pays,
+                &self.policy_with(run), MAX_DIRECT_FANOUT,
+            )
+        });
+        run.budget.release(out_bytes);
+        let (pass, _) = r?;
+        Ok((Relation::new(out_keys, out_pays), pass.partition_starts))
     }
 
     /// Which partition a key belongs to under [`Engine::hash_partition`].
@@ -332,6 +467,48 @@ impl Engine {
             .into_iter()
             .map(|(k, (c, sum))| (k, c, sum))
             .collect()
+    }
+
+    /// Fallible [`Engine::group_by_sum`] under a [`RunContext`]:
+    /// cancellation is observed at morsel-claim boundaries and a worker
+    /// panic (e.g. an aggregation-table overflow) surfaces as
+    /// [`EngineError::WorkerPanicked`] after the sibling workers drain.
+    pub fn try_group_by_sum(
+        &self,
+        rel: &Relation,
+        expected_groups: usize,
+        run: &RunContext,
+    ) -> Result<Vec<(u32, u32, u64)>, EngineError> {
+        let q = MorselQueue::new(rel.len(), &self.policy_with(run), 16);
+        let scope = parallel_scope_try(self.threads, |ctx| {
+            let mut table = rsv_hashtab::GroupAggTable::new(expected_groups.max(1), 0.5);
+            for mo in ctx.morsels(&q) {
+                ctx.phase("aggregate", || {
+                    let r = mo.range.clone();
+                    dispatch!(self.backend, s => {
+                        table.update_vector(s, &rel.keys[r.clone()], &rel.payloads[r])
+                    });
+                });
+            }
+            table
+        });
+        let (tables, _) = match scope {
+            Ok(v) => v,
+            Err(wp) => return Err(wp.into_engine_error()),
+        };
+        run.check_cancelled()?;
+        let mut merged: std::collections::BTreeMap<u32, (u32, u64)> = Default::default();
+        for table in &tables {
+            for (k, c, sum) in table.iter() {
+                let e = merged.entry(k).or_default();
+                e.0 += c;
+                e.1 += sum;
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .map(|(k, (c, sum))| (k, c, sum))
+            .collect())
     }
 }
 

@@ -43,6 +43,8 @@ impl<T: Copy> AlignedVec<T> {
         AlignedVec { ptr, len }
     }
 
+    // Documented panic of `zeroed`: a layout this large is a caller bug.
+    #[allow(clippy::expect_used)]
     fn layout(len: usize) -> Layout {
         assert!(
             core::mem::size_of::<T>() > 0,
@@ -106,6 +108,7 @@ impl<T: Copy + core::fmt::Debug> core::fmt::Debug for AlignedVec<T> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

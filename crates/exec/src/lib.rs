@@ -13,20 +13,28 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Robustness hygiene: this crate is the substrate every operator unwinds
+// through, so stray `unwrap`/`expect` are held to an allow-listed minimum
+// (each carries a comment arguing its infallibility).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod aligned;
+mod error;
 mod morsel;
 mod parallel;
 mod platform;
+mod run;
 mod shared;
 mod timing;
 
 pub use aligned::AlignedVec;
+pub use error::{expect_infallible, panic_message, EngineError};
 pub use morsel::{ExecPolicy, Morsel, MorselQueue, DEFAULT_MORSEL_TUPLES};
 pub use parallel::{
-    chunk_ranges, parallel_scope, parallel_scope_stats, Morsels, ParallelContext, SchedulerStats,
-    WorkerStats,
+    chunk_ranges, parallel_scope, parallel_scope_stats, parallel_scope_try, Morsels,
+    ParallelContext, SchedulerStats, WorkerPanic, WorkerStats,
 };
 pub use platform::{platform_report, PlatformReport};
+pub use run::{CancelToken, MemoryBudget, RunContext};
 pub use shared::{SharedBuffer, SlotMap};
 pub use timing::{throughput_mtps, time, time_n, Timed};

@@ -24,6 +24,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::parallel::chunk_ranges;
+use crate::run::{CancelToken, RunContext};
 
 /// Default morsel size in tuples. 16K tuples of key+payload (128 KB) fit
 /// comfortably in L2 next to the shuffle staging buffers, while still
@@ -31,9 +32,10 @@ use crate::parallel::chunk_ranges;
 /// the paper's workloads.
 pub const DEFAULT_MORSEL_TUPLES: usize = 16 * 1024;
 
-/// How an operator invocation should be executed: how many workers, and
-/// how finely the input is morselized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// How an operator invocation should be executed: how many workers, how
+/// finely the input is morselized, and under which [`RunContext`]
+/// (cancellation + memory budget).
+#[derive(Debug, Clone)]
 pub struct ExecPolicy {
     /// Number of worker threads.
     pub threads: usize,
@@ -41,6 +43,10 @@ pub struct ExecPolicy {
     /// alignment). `usize::MAX` degenerates to the paper's static
     /// equal-split: one morsel per worker.
     pub morsel_tuples: usize,
+    /// The run the invocation belongs to. The default is inert
+    /// (uncancellable, unlimited), so policies built without an explicit
+    /// context behave exactly as before.
+    pub run: RunContext,
 }
 
 impl ExecPolicy {
@@ -50,6 +56,7 @@ impl ExecPolicy {
         ExecPolicy {
             threads,
             morsel_tuples: DEFAULT_MORSEL_TUPLES,
+            run: RunContext::default(),
         }
     }
 
@@ -62,6 +69,12 @@ impl ExecPolicy {
     pub fn with_morsel_tuples(mut self, morsel_tuples: usize) -> ExecPolicy {
         assert!(morsel_tuples > 0, "morsels must hold at least one tuple");
         self.morsel_tuples = morsel_tuples;
+        self
+    }
+
+    /// Attach a [`RunContext`] (cancel token + memory budget).
+    pub fn with_run(mut self, run: RunContext) -> ExecPolicy {
+        self.run = run;
         self
     }
 
@@ -112,6 +125,10 @@ pub struct MorselQueue {
     /// cursor may overshoot its span end (failed claims still increment);
     /// only values below the span length denote claimed morsels.
     cursors: Vec<PaddedCursor>,
+    /// The run's cancel token: once cancelled, [`MorselQueue::claim`]
+    /// returns `None`, so each worker finishes at most the morsel it
+    /// already holds (cancellation latency ≤ one morsel).
+    cancel: CancelToken,
 }
 
 impl MorselQueue {
@@ -124,16 +141,29 @@ impl MorselQueue {
         } else {
             n.div_ceil(per).max(policy.threads.min(n.div_ceil(align)))
         };
-        Self::build(n, morsels, policy.threads, align)
+        Self::build(n, morsels, policy.threads, align, policy.run.cancel_token())
     }
 
     /// A queue of `count` indivisible tasks (partitions to build, parts to
     /// probe, ...) rather than tuple ranges: morsel `i` is `i..i + 1`.
     pub fn tasks(count: usize, workers: usize) -> MorselQueue {
-        Self::build(count, count, workers, 1)
+        Self::build(count, count, workers, 1, CancelToken::new())
     }
 
-    fn build(n: usize, morsels: usize, workers: usize, align: usize) -> MorselQueue {
+    /// Like [`MorselQueue::tasks`], but honouring `policy.run`'s cancel
+    /// token, so task-granular phases (per-partition build/probe) stop at
+    /// task boundaries too.
+    pub fn tasks_policy(count: usize, workers: usize, policy: &ExecPolicy) -> MorselQueue {
+        Self::build(count, count, workers, 1, policy.run.cancel_token())
+    }
+
+    fn build(
+        n: usize,
+        morsels: usize,
+        workers: usize,
+        align: usize,
+        cancel: CancelToken,
+    ) -> MorselQueue {
         assert!(workers > 0, "need at least one worker");
         let mut bounds = Vec::with_capacity(morsels + 1);
         bounds.push(0);
@@ -154,6 +184,7 @@ impl MorselQueue {
             bounds,
             spans,
             cursors,
+            cancel,
         }
     }
 
@@ -163,6 +194,8 @@ impl MorselQueue {
     }
 
     /// Number of tuples the queue covers.
+    // `bounds` always holds at least the leading 0.
+    #[allow(clippy::unwrap_used)]
     pub fn tuple_count(&self) -> usize {
         *self.bounds.last().unwrap()
     }
@@ -174,8 +207,13 @@ impl MorselQueue {
 
     /// Claim the next morsel for `worker`: own span first, then steal from
     /// the other workers in round-robin order. Returns `None` once every
-    /// span is drained (cursors only grow, so `None` is final).
+    /// span is drained (cursors only grow, so `None` is final) **or the
+    /// run's cancel token trips** — this boundary is what bounds
+    /// cancellation latency to one in-flight morsel per worker.
     pub fn claim(&self, worker: usize) -> Option<Morsel> {
+        if self.cancel.is_cancelled() {
+            return None;
+        }
         let w = self.spans.len();
         for probe in 0..w {
             let victim = (worker + probe) % w;
@@ -205,6 +243,7 @@ impl MorselQueue {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::parallel::parallel_scope;
 
@@ -285,6 +324,25 @@ mod tests {
         for id in 0..7 {
             assert_eq!(q.range_of(id), id..id + 1);
         }
+    }
+
+    #[test]
+    fn cancel_stops_claims_immediately() {
+        let policy = ExecPolicy::new(2).with_morsel_tuples(10);
+        let q = MorselQueue::new(100, &policy, 1);
+        assert!(q.claim(0).is_some());
+        policy.run.cancel.cancel();
+        assert!(q.claim(0).is_none());
+        assert!(q.claim(1).is_none());
+    }
+
+    #[test]
+    fn task_policy_queue_honours_cancel() {
+        let policy = ExecPolicy::new(1);
+        let q = MorselQueue::tasks_policy(5, 1, &policy);
+        assert!(q.claim(0).is_some());
+        policy.run.cancel.cancel();
+        assert!(q.claim(0).is_none());
     }
 
     #[test]

@@ -1,9 +1,19 @@
 //! Thread parallelism: morsel scheduling contexts plus barrier
 //! synchronization, the substrate for the paper's per-operator phases.
+//!
+//! Workers run under panic isolation: each worker's closure executes under
+//! `catch_unwind`, a panicking worker trips a shared abort flag (so its
+//! siblings drain at the next morsel-claim boundary) and defects from the
+//! phase barrier (so siblings blocked on it are released instead of
+//! deadlocking). [`parallel_scope_try`] surfaces the first panic as a
+//! [`WorkerPanic`]; the infallible [`parallel_scope_stats`] delegates to it
+//! and re-raises the original payload.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::ops::Range;
-use std::sync::Barrier;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::morsel::{Morsel, MorselQueue};
@@ -128,21 +138,136 @@ impl std::fmt::Display for SchedulerStats {
     }
 }
 
+/// A worker panic captured by [`parallel_scope_try`]. Siblings of the
+/// panicking worker drained cleanly before this was returned.
+pub struct WorkerPanic {
+    /// Thread id of the panicking worker.
+    pub worker: usize,
+    /// The morsel id the worker had last claimed, if any.
+    pub morsel: Option<usize>,
+    /// The original panic payload (re-raise with
+    /// `std::panic::resume_unwind`, or stringify for an error).
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl WorkerPanic {
+    /// Convert into the workspace error, stringifying the payload (the
+    /// operator `*_try` functions' standard mapping).
+    pub fn into_engine_error(self) -> crate::EngineError {
+        crate::EngineError::WorkerPanicked {
+            payload: crate::error::panic_message(self.payload.as_ref()),
+            morsel: self.morsel,
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPanic")
+            .field("worker", &self.worker)
+            .field("morsel", &self.morsel)
+            .field("payload", &"<panic payload>")
+            .finish()
+    }
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Worker panics are caught and never unwind through these guards, but
+    // shrug poisoning off anyway: the protected state stays consistent.
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// A phase barrier that tolerates defecting (panicked) participants.
+///
+/// `std::sync::Barrier` would deadlock the surviving workers if a panicked
+/// worker never arrives; here the panic handler calls [`PoisonBarrier::defect`],
+/// which shrinks the participant count and releases the current generation
+/// if everyone still standing has already arrived.
+struct PoisonBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    participants: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+impl PoisonBarrier {
+    fn new(participants: usize) -> PoisonBarrier {
+        PoisonBarrier {
+            state: Mutex::new(BarrierState {
+                participants,
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived >= st.participants {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        while st.generation == gen {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Permanently remove one participant (it panicked and will never
+    /// arrive). Releases the current generation if everyone remaining has
+    /// already arrived.
+    fn defect(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.participants = st.participants.saturating_sub(1);
+        if st.participants > 0 && st.arrived >= st.participants {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// State shared by every worker of one scope.
+struct ScopeShared {
+    barrier: PoisonBarrier,
+    /// Set by the first panicking worker; siblings observe it at their next
+    /// morsel-claim boundary and drain.
+    abort: AtomicBool,
+    /// The first panic, captured with its worker id and last morsel.
+    panic: Mutex<Option<WorkerPanic>>,
+}
+
 /// Per-thread context handed to [`parallel_scope`] workers.
 pub struct ParallelContext<'a> {
     /// This worker's index in `0..threads`.
     pub thread_id: usize,
     /// Total number of workers.
     pub threads: usize,
-    barrier: &'a Barrier,
+    shared: &'a ScopeShared,
     stats: RefCell<WorkerStats>,
+    last_morsel: Cell<Option<usize>>,
 }
 
 impl ParallelContext<'_> {
-    /// Wait until every worker reaches this point (the paper's
-    /// histogram/shuffle and build/probe phase boundaries).
+    /// Wait until every *live* worker reaches this point (the paper's
+    /// histogram/shuffle and build/probe phase boundaries). Panicked
+    /// workers defect, so survivors are never stranded here.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.shared.barrier.wait();
     }
 
     /// Iterate over this worker's share of `queue`, claiming morsels
@@ -176,10 +301,16 @@ impl Iterator for Morsels<'_, '_> {
     type Item = Morsel;
 
     fn next(&mut self) -> Option<Morsel> {
+        // A sibling panicked: drain instead of claiming more work.
+        if self.ctx.shared.abort.load(Ordering::SeqCst) {
+            return None;
+        }
+        let _ = rsv_testkit::failpoint!("exec.morsel.claim");
         let m = self.queue.claim(self.ctx.thread_id)?;
         rsv_metrics::count(rsv_metrics::Metric::MorselsClaimed, 1);
         rsv_metrics::count(rsv_metrics::Metric::MorselsStolen, u64::from(m.stolen));
         self.ctx.stats.borrow_mut().record_claim(&m);
+        self.ctx.last_morsel.set(Some(m.id));
         Some(m)
     }
 }
@@ -199,59 +330,123 @@ where
 
 /// [`parallel_scope`], additionally returning per-worker scheduler stats
 /// (morsels claimed, steals, tuples, per-phase times).
+///
+/// A worker panic is re-raised on the calling thread with its original
+/// payload — after every sibling has drained cleanly (no results are
+/// silently discarded, no thread is left stranded on a barrier).
 pub fn parallel_scope_stats<R, F>(t: usize, f: F) -> (Vec<R>, SchedulerStats)
 where
     R: Send,
     F: Fn(&ParallelContext<'_>) -> R + Sync,
 {
+    match parallel_scope_try(t, f) {
+        Ok(out) => out,
+        Err(wp) => std::panic::resume_unwind(wp.payload),
+    }
+}
+
+/// [`parallel_scope_stats`] with panic isolation surfaced as a value: if
+/// any worker panics, the first panic is returned as [`WorkerPanic`]
+/// (worker id, last claimed morsel, original payload) instead of
+/// unwinding. The panicking worker trips a shared abort flag — siblings
+/// stop at their next morsel-claim boundary — and defects from the phase
+/// barrier, so the scope always joins; no lock the workers share through
+/// the scope is left poisoned.
+pub fn parallel_scope_try<R, F>(t: usize, f: F) -> Result<(Vec<R>, SchedulerStats), WorkerPanic>
+where
+    R: Send,
+    F: Fn(&ParallelContext<'_>) -> R + Sync,
+{
     assert!(t > 0, "need at least one thread");
-    let barrier = Barrier::new(t);
+    let shared = ScopeShared {
+        barrier: PoisonBarrier::new(t),
+        abort: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    };
     // Metering follows the call tree: spawned workers inherit the calling
     // thread's flag and flush their counters into the live session (by
     // thread id, like the stats below) before they exit the scope.
     let metering = rsv_metrics::enabled();
-    let run = |thread_id: usize, barrier: &Barrier| {
+    let record_panic =
+        |worker: usize, morsel: Option<usize>, payload: Box<dyn std::any::Any + Send>| {
+            // Abort must be visible before the barrier releases anyone, so
+            // survivors see it at their next claim.
+            shared.abort.store(true, Ordering::SeqCst);
+            shared.barrier.defect();
+            let mut slot = lock_unpoisoned(&shared.panic);
+            if slot.is_none() {
+                *slot = Some(WorkerPanic {
+                    worker,
+                    morsel,
+                    payload,
+                });
+            }
+        };
+    let run = |thread_id: usize| -> Option<(R, WorkerStats)> {
         if thread_id != 0 {
             rsv_metrics::set_thread_metering(metering);
         }
         let ctx = ParallelContext {
             thread_id,
             threads: t,
-            barrier,
+            shared: &shared,
             stats: RefCell::new(WorkerStats::default()),
+            last_morsel: Cell::new(None),
         };
-        let r = f(&ctx);
+        let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
         rsv_metrics::flush_worker(thread_id);
-        (r, ctx.stats.into_inner())
+        match result {
+            Ok(r) => Some((r, ctx.stats.into_inner())),
+            Err(payload) => {
+                record_panic(thread_id, ctx.last_morsel.get(), payload);
+                None
+            }
+        }
     };
-    let per_worker: Vec<(R, WorkerStats)> = if t == 1 {
-        vec![run(0, &barrier)]
+    let per_worker: Vec<Option<(R, WorkerStats)>> = if t == 1 {
+        vec![run(0)]
     } else {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(t - 1);
             for thread_id in 1..t {
-                let barrier = &barrier;
                 let run = &run;
-                handles.push(scope.spawn(move || run(thread_id, barrier)));
+                handles.push(scope.spawn(move || run(thread_id)));
             }
-            let mut results = vec![run(0, &barrier)];
-            for h in handles {
-                results.push(h.join().expect("worker panicked"));
+            let mut results = vec![run(0)];
+            for (i, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => results.push(v),
+                    Err(payload) => {
+                        // A panic escaped the worker's catch_unwind (only
+                        // possible outside the user closure, e.g. in the
+                        // metrics flush). Treat it like an in-closure panic.
+                        record_panic(i + 1, None, payload);
+                        results.push(None);
+                    }
+                }
             }
             results
         })
     };
+    if let Some(wp) = lock_unpoisoned(&shared.panic).take() {
+        return Err(wp);
+    }
     let mut results = Vec::with_capacity(t);
     let mut stats = SchedulerStats::default();
-    for (r, w) in per_worker {
+    for slot in per_worker {
+        // No recorded panic means every worker completed.
+        let Some((r, w)) = slot else {
+            unreachable!("worker produced no result and no panic was recorded")
+        };
         results.push(r);
         stats.workers.push(w);
     }
-    (results, stats)
+    Ok((results, stats))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::morsel::ExecPolicy;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -413,5 +608,91 @@ mod tests {
         assert_eq!(a.workers[0].tuples, 30);
         assert_eq!(a.workers[0].phase_ns, vec![("x", 12), ("y", 1)]);
         assert_eq!(a.total_steals(), 1);
+    }
+
+    #[test]
+    fn try_scope_surfaces_worker_panic() {
+        let policy = ExecPolicy::new(4).with_morsel_tuples(8);
+        let queue = MorselQueue::new(10_000, &policy, 1);
+        let err = parallel_scope_try(4, |ctx| {
+            // Every worker claims one morsel from its own span, then meets
+            // at the barrier, so worker 2 deterministically holds a morsel
+            // when it panics (no worker can drain the queue early).
+            let mut it = ctx.morsels(&queue);
+            let first = it.next().expect("own span is non-empty");
+            ctx.barrier();
+            if ctx.thread_id == 2 {
+                panic!("boom on morsel {}", first.id);
+            }
+            let mut seen = first.range.len();
+            for m in it {
+                seen += m.range.len();
+            }
+            seen
+        })
+        .expect_err("worker 2 must panic");
+        assert_eq!(err.worker, 2);
+        assert!(err.morsel.is_some(), "panic happened inside a morsel");
+        let msg = err
+            .payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.starts_with("boom on morsel"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_worker_releases_barrier_siblings() {
+        // Worker 0 dies before the barrier; the other three must pass it
+        // (via defect) and finish instead of deadlocking.
+        let passed = AtomicUsize::new(0);
+        let err = parallel_scope_try(4, |ctx| {
+            if ctx.thread_id == 0 {
+                panic!("pre-barrier death");
+            }
+            ctx.barrier();
+            passed.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect_err("worker 0 must panic");
+        assert_eq!(err.worker, 0);
+        assert_eq!(err.morsel, None);
+        assert_eq!(passed.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn siblings_drain_after_abort() {
+        // Worker 1 panics on its first claim; the abort flag must stop the
+        // other workers at a claim boundary, not strand them.
+        let policy = ExecPolicy::new(2).with_morsel_tuples(4);
+        let queue = MorselQueue::new(100_000, &policy, 1);
+        let err = parallel_scope_try(2, |ctx| {
+            let mut it = ctx.morsels(&queue);
+            let _first = it.next();
+            ctx.barrier();
+            if ctx.thread_id == 1 {
+                panic!("first-claim death");
+            }
+            for _m in it {}
+        })
+        .expect_err("worker 1 must panic");
+        assert_eq!(err.worker, 1);
+    }
+
+    #[test]
+    fn single_thread_panic_is_captured() {
+        let err = parallel_scope_try(1, |_ctx| panic!("solo")).expect_err("must panic");
+        assert_eq!(err.worker, 0);
+        let msg = err.payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "solo");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn infallible_scope_reraises_original_payload() {
+        parallel_scope(2, |ctx| {
+            if ctx.thread_id == 1 {
+                panic!("boom");
+            }
+        });
     }
 }

@@ -129,6 +129,8 @@ impl<T> SlotMap<T> {
     ///
     /// # Safety
     /// All writers must have crossed a barrier before any reads.
+    // Documented panic: reading an unfilled slot violates the contract.
+    #[allow(clippy::expect_used)]
     pub unsafe fn get(&self, i: usize) -> &T {
         let slots: &Vec<Option<T>> = &*self.slots.get();
         slots[i].as_ref().expect("slot never filled before read")
@@ -138,7 +140,8 @@ impl<T> SlotMap<T> {
     ///
     /// # Safety
     /// Same contract as [`SlotMap::put`]: one worker per slot per phase.
-    #[allow(clippy::mut_from_ref)]
+    // Documented panic: reading an unfilled slot violates the contract.
+    #[allow(clippy::mut_from_ref, clippy::expect_used)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
         let slots: &mut Vec<Option<T>> = &mut *self.slots.get();
         slots[i].as_mut().expect("slot never filled before read")
@@ -152,6 +155,7 @@ impl<T> SlotMap<T> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::parallel::parallel_scope;
 

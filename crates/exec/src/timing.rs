@@ -23,6 +23,8 @@ pub fn time<R>(f: impl FnOnce() -> R) -> Timed<R> {
 
 /// Run `f` `n ≥ 1` times and report the *fastest* run, the conventional
 /// way to suppress timer and scheduler noise in microbenchmarks.
+// The `n >= 1` assert guarantees at least one iteration fills `best`.
+#[allow(clippy::expect_used)]
 pub fn time_n<R>(n: usize, mut f: impl FnMut() -> R) -> Timed<R> {
     assert!(n >= 1);
     let mut best: Option<Timed<R>> = None;
@@ -52,6 +54,7 @@ pub fn throughput_mtps(tuples: usize, elapsed: Duration) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -281,6 +281,7 @@ impl GroupAggTable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rsv_simd::Portable;
     use std::collections::HashMap;

@@ -21,6 +21,18 @@ pub struct CuckooBuildError {
     pub key: u32,
     /// Its payload.
     pub payload: u32,
+    /// Full-rebuild attempts consumed before giving up (0 for a single
+    /// failed insert outside a build).
+    pub attempts: usize,
+}
+
+impl From<CuckooBuildError> for rsv_exec::EngineError {
+    fn from(e: CuckooBuildError) -> Self {
+        rsv_exec::EngineError::RehashExhausted {
+            attempts: e.attempts,
+            key: e.key,
+        }
+    }
 }
 
 impl core::fmt::Display for CuckooBuildError {
@@ -95,13 +107,21 @@ impl CuckooTable {
         self.h2.bucket(key, self.pairs.len())
     }
 
-    /// Insert one tuple, displacing occupants as needed.
+    /// Insert one tuple, displacing occupants as needed. A completely full
+    /// table is reported as an error (the displacement chain can never
+    /// terminate), not a panic — callers degrade instead of crashing.
     pub fn try_insert(&mut self, key: u32, pay: u32) -> Result<(), CuckooBuildError> {
         assert_ne!(
             key, EMPTY_KEY,
             "key {key:#x} is the reserved empty sentinel"
         );
-        assert!(self.len < self.pairs.len(), "hash table is full");
+        if self.len >= self.pairs.len() {
+            return Err(CuckooBuildError {
+                key,
+                payload: pay,
+                attempts: 0,
+            });
+        }
         let mut cur = u64::from(key) | (u64::from(pay) << 32);
         let mut h = self.bucket1(key);
         let mut kicks = 0u64;
@@ -128,13 +148,14 @@ impl CuckooTable {
         Err(CuckooBuildError {
             key: cur as u32,
             payload: (cur >> 32) as u32,
+            attempts: 0,
         })
     }
 
     /// Number of full-rebuild attempts (with fresh hash functions) before
     /// giving up. Cuckoo hashing at its 50% load threshold occasionally
     /// needs a rehash; this is the standard remedy.
-    const MAX_REHASH: usize = 16;
+    pub const MAX_REHASH: usize = 16;
 
     /// Swap in a fresh pair of hash functions and clear the table.
     fn rehash_reset(&mut self, attempt: usize) {
@@ -154,12 +175,16 @@ impl CuckooTable {
         assert!(self.is_empty(), "build on a non-empty cuckoo table");
         let mut attempt = 0;
         'retry: loop {
+            let _ = rsv_testkit::failpoint!("hashtab.cuckoo.build");
             rsv_metrics::count(Metric::CuckooKeysBuilt, keys.len() as u64);
             for (&k, &p) in keys.iter().zip(pays) {
                 if let Err(e) = self.try_insert(k, p) {
                     attempt += 1;
                     if attempt >= Self::MAX_REHASH {
-                        return Err(e);
+                        return Err(CuckooBuildError {
+                            attempts: attempt,
+                            ..e
+                        });
                     }
                     self.rehash_reset(attempt);
                     continue 'retry;
@@ -184,6 +209,7 @@ impl CuckooTable {
         assert!(self.is_empty(), "build on a non-empty cuckoo table");
         let mut attempt = 0;
         loop {
+            let _ = rsv_testkit::failpoint!("hashtab.cuckoo.build");
             rsv_metrics::count(Metric::CuckooKeysBuilt, keys.len() as u64);
             let r = s.vectorize(
                 #[inline(always)]
@@ -194,7 +220,10 @@ impl CuckooTable {
                 Err(e) => {
                     attempt += 1;
                     if attempt >= Self::MAX_REHASH {
-                        return Err(e);
+                        return Err(CuckooBuildError {
+                            attempts: attempt,
+                            ..e
+                        });
                     }
                     self.rehash_reset(attempt);
                 }
@@ -418,6 +447,7 @@ impl CuckooTable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rsv_simd::Portable;
     use std::collections::HashMap;

@@ -192,6 +192,7 @@ impl BucketizedTable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rsv_simd::Portable;
     use std::collections::HashMap;
@@ -379,7 +380,11 @@ impl BucketizedCuckoo {
                 vb1
             };
         }
-        Err(CuckooBuildError { key: k, payload: p })
+        Err(CuckooBuildError {
+            key: k,
+            payload: p,
+            attempts: 0,
+        })
     }
 
     /// Build from columns; keys must be unique.
@@ -427,6 +432,7 @@ impl BucketizedCuckoo {
 
 #[cfg(test)]
 mod cuckoo_bucket_tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rsv_simd::Portable;
 

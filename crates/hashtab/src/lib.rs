@@ -22,16 +22,22 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Robustness: this crate sits on every query's hot path — recoverable
+// conditions (full tables, exhausted rehashes) must surface as typed
+// errors, not panics. Genuinely infallible sites carry a fn-level allow.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod agg;
 mod cuckoo;
 pub mod diff;
+mod fallback;
 mod horizontal;
 mod linear;
 mod sink;
 
 pub use agg::{AggTableFull, GroupAggTable};
 pub use cuckoo::{CuckooBuildError, CuckooTable};
+pub use fallback::FallbackTable;
 pub use horizontal::{BucketScheme, BucketizedCuckoo, BucketizedTable};
 pub use linear::{
     dh_probe_vertical_strands_raw, lp_build_scalar_raw, lp_build_vertical_raw, lp_insert_raw,

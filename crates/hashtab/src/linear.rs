@@ -80,6 +80,20 @@ impl LinearTable {
         self.insert_from(key, pay, 0);
     }
 
+    /// Fallible [`LinearTable::insert`]: a full table is reported as
+    /// [`rsv_exec::EngineError::TableFull`] instead of panicking.
+    pub fn try_insert(&mut self, key: u32, pay: u32) -> Result<(), rsv_exec::EngineError> {
+        if self.len >= self.pairs.len() {
+            return Err(rsv_exec::EngineError::TableFull {
+                len: self.len,
+                buckets: self.pairs.len(),
+            });
+        }
+        lp_insert_raw(&mut self.pairs, self.hash, key, pay, 0);
+        self.len += 1;
+        Ok(())
+    }
+
     /// Build the table from columns with scalar code (Algorithm 6).
     pub fn build_scalar(&mut self, keys: &[u32], pays: &[u32]) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
@@ -87,6 +101,30 @@ impl LinearTable {
         for (&k, &p) in keys.iter().zip(pays) {
             self.insert(k, p);
         }
+    }
+
+    /// Fallible [`LinearTable::build_scalar`]: rejects inputs that do not
+    /// leave at least one bucket free (the probe loop's termination
+    /// guarantee) with [`rsv_exec::EngineError::TableFull`].
+    pub fn try_build_scalar(
+        &mut self,
+        keys: &[u32],
+        pays: &[u32],
+    ) -> Result<(), rsv_exec::EngineError> {
+        assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        let _ = rsv_testkit::failpoint!("hashtab.lp.build");
+        if self.len + keys.len() >= self.pairs.len() {
+            return Err(rsv_exec::EngineError::TableFull {
+                len: self.len + keys.len(),
+                buckets: self.pairs.len(),
+            });
+        }
+        rsv_metrics::count(Metric::LpKeysBuilt, keys.len() as u64);
+        for (&k, &p) in keys.iter().zip(pays) {
+            lp_insert_raw(&mut self.pairs, self.hash, k, p, 0);
+            self.len += 1;
+        }
+        Ok(())
     }
 
     /// Probe one key, resuming `offset` buckets into its chain, emitting
@@ -100,6 +138,7 @@ impl LinearTable {
     /// chain and emit all matches.
     pub fn probe_scalar(&self, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        let _ = rsv_testkit::failpoint!("hashtab.lp.probe");
         rsv_metrics::count(Metric::LpKeysProbed, keys.len() as u64);
         for (&k, &p) in keys.iter().zip(pays) {
             self.probe_one_from(k, p, 0, out);
@@ -132,6 +171,7 @@ impl LinearTable {
     /// differs from the input order).
     pub fn probe_vertical<S: Simd>(&self, s: S, keys: &[u32], pays: &[u32], out: &mut JoinSink) {
         assert_eq!(keys.len(), pays.len(), "column length mismatch");
+        let _ = rsv_testkit::failpoint!("hashtab.lp.probe");
         s.vectorize(
             #[inline(always)]
             || self.probe_vertical_impl(s, keys, pays, out),
@@ -895,6 +935,7 @@ pub fn dh_probe_vertical_strands_raw<S: Simd, const STRANDS: usize>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rsv_simd::Portable;
     use std::collections::HashMap;

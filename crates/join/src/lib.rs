@@ -24,11 +24,13 @@ mod min_partition;
 mod no_partition;
 
 pub use max_partition::{
-    join_max_partition, join_max_partition_policy, join_max_partition_with_target,
-    DEFAULT_PART_TUPLES,
+    join_max_partition, join_max_partition_policy, join_max_partition_policy_try,
+    join_max_partition_with_target, DEFAULT_PART_TUPLES,
 };
-pub use min_partition::{join_min_partition, join_min_partition_policy};
-pub use no_partition::{join_no_partition, join_no_partition_policy};
+pub use min_partition::{
+    join_min_partition, join_min_partition_policy, join_min_partition_policy_try,
+};
+pub use no_partition::{join_no_partition, join_no_partition_policy, join_no_partition_policy_try};
 
 use rsv_hashtab::JoinSink;
 use std::time::Duration;

@@ -6,13 +6,15 @@
 use std::time::Instant;
 
 use rsv_data::Relation;
-use rsv_exec::{parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats};
+use rsv_exec::{
+    expect_infallible, parallel_scope_try, EngineError, ExecPolicy, MorselQueue, SchedulerStats,
+};
 use rsv_hashtab::{
     lp_build_scalar_raw, lp_build_vertical_raw, lp_probe_scalar_raw, lp_probe_vertical_raw,
     JoinSink, MulHash, EMPTY_PAIR,
 };
 use rsv_partition::histogram::{histogram_scalar, histogram_vector_replicated, prefix_sum};
-use rsv_partition::parallel::partition_pass_policy;
+use rsv_partition::parallel::partition_pass_policy_try;
 use rsv_partition::shuffle::{shuffle_scalar_buffered, shuffle_vector_buffered};
 use rsv_partition::HashFn;
 use rsv_simd::Simd;
@@ -26,6 +28,9 @@ pub const DEFAULT_PART_TUPLES: usize = 2048;
 /// Maximum fanout of a single partitioning pass (the paper's optimal pass
 /// fanout is bounded by TLB/cache capacity; 2^8 is in its sweet range).
 const MAX_PASS_FANOUT: usize = 256;
+
+/// Per-worker task-phase results: a sink plus build/probe nanoseconds.
+type TaskResults = Vec<(JoinSink, u64, u64)>;
 
 /// Execute the max-partition join with the default cache target.
 pub fn join_max_partition<S: Simd>(
@@ -70,11 +75,43 @@ pub fn join_max_partition_policy<S: Simd>(
     policy: &ExecPolicy,
     part_target: usize,
 ) -> (JoinResult, SchedulerStats) {
+    expect_infallible(join_max_partition_policy_try(
+        s,
+        vectorized,
+        inner,
+        outer,
+        policy,
+        part_target,
+    ))
+}
+
+/// Fallible [`join_max_partition_policy`]: honours `policy.run` — the
+/// partitioned copies of both relations (and the second-level scratch) are
+/// gated by the memory budget, cancellation is observed at every
+/// morsel/task claim and between second-level passes, and worker panics
+/// surface as [`EngineError::WorkerPanicked`].
+pub fn join_max_partition_policy_try<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    policy: &ExecPolicy,
+    part_target: usize,
+) -> Result<(JoinResult, SchedulerStats), EngineError> {
     let threads = policy.threads;
     assert!(part_target >= 1);
     let table_hash = MulHash::nth(0);
     let f1_factor = MulHash::nth(2).factor();
     let f2_factor = MulHash::nth(3).factor();
+
+    // Memory charged so far; released before every return below.
+    let mut reserved = 0u64;
+    macro_rules! bail {
+        ($e:expr) => {{
+            policy.run.budget.release(reserved);
+            return Err($e);
+        }};
+    }
 
     // ------------------------------------------------------------------
     // Phase 1: partition both relations with the same function(s) until
@@ -89,7 +126,10 @@ pub fn join_max_partition_policy<S: Simd>(
     let f1 = HashFn::with_factor(fanout1, f1_factor);
 
     let mut stats = SchedulerStats::default();
-    let (mut ik, mut ip, istarts, ihist) = partition_relation(
+    let cols_bytes = 2 * ((inner.len() + outer.len()) as u64) * std::mem::size_of::<u32>() as u64;
+    policy.run.reserve(cols_bytes)?;
+    reserved += cols_bytes;
+    let inner_part = partition_relation(
         s,
         vectorized,
         f1,
@@ -98,7 +138,11 @@ pub fn join_max_partition_policy<S: Simd>(
         policy,
         &mut stats,
     );
-    let (mut ok_, mut op, ostarts, ohist) = partition_relation(
+    let (mut ik, mut ip, istarts, ihist) = match inner_part {
+        Ok(v) => v,
+        Err(e) => bail!(e),
+    };
+    let outer_part = partition_relation(
         s,
         vectorized,
         f1,
@@ -107,6 +151,10 @@ pub fn join_max_partition_policy<S: Simd>(
         policy,
         &mut stats,
     );
+    let (mut ok_, mut op, ostarts, ohist) = match outer_part {
+        Ok(v) => v,
+        Err(e) => bail!(e),
+    };
 
     // Second-level split for oversized parts, with an independent hash.
     let mut parts: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> = Vec::new();
@@ -124,9 +172,18 @@ pub fn join_max_partition_policy<S: Simd>(
     if !second.is_empty() {
         // Split the oversized parts in place (ping to scratch and back),
         // distributing parts among threads.
+        let scratch_bytes =
+            2 * (ik.len().max(ok_.len()) as u64) * std::mem::size_of::<u32>() as u64;
+        if let Err(e) = policy.run.reserve(scratch_bytes) {
+            bail!(e);
+        }
+        reserved += scratch_bytes;
         let mut sk = vec![0u32; ik.len().max(ok_.len())];
         let mut sp = vec![0u32; ik.len().max(ok_.len())];
         for &(p, sub_fanout) in &second {
+            if let Err(e) = policy.run.check_cancelled() {
+                bail!(e);
+            }
             rsv_metrics::count(rsv_metrics::Metric::JoinPartitionFanout, sub_fanout as u64);
             let f2 = HashFn::with_factor(sub_fanout, f2_factor);
             let ir = istarts[p] as usize..istarts[p] as usize + ihist[p] as usize;
@@ -166,18 +223,19 @@ pub fn join_max_partition_policy<S: Simd>(
     // so the reported split is the workers' accumulated time.
     // ------------------------------------------------------------------
     let t0 = Instant::now();
-    let task_q = MorselQueue::tasks(parts.len(), threads);
+    let task_q = MorselQueue::tasks_policy(parts.len(), threads, policy);
     let ik_ref = &ik;
     let ip_ref = &ip;
     let ok_ref = &ok_;
     let op_ref = &op;
     let parts_ref = &parts;
-    let (results, task_stats): (Vec<(JoinSink, u64, u64)>, _) =
-        parallel_scope_stats(threads, |ctx| {
+    let task_scope: Result<(TaskResults, _), _> =
+        parallel_scope_try(threads, |ctx| {
             let mut sink = JoinSink::with_capacity(1024);
             let mut build_ns = 0u64;
             let mut probe_ns = 0u64;
             for task in ctx.morsels(&task_q) {
+                let _ = rsv_testkit::failpoint!("join.task");
                 let (ir, or) = &parts_ref[task.id];
                 if ir.is_empty() || or.is_empty() {
                     continue;
@@ -227,6 +285,12 @@ pub fn join_max_partition_policy<S: Simd>(
             }
             (sink, build_ns, probe_ns)
         });
+    policy.run.budget.release(reserved);
+    let (results, task_stats) = match task_scope {
+        Ok(v) => v,
+        Err(wp) => return Err(wp.into_engine_error()),
+    };
+    policy.run.check_cancelled()?;
     let build_probe = t0.elapsed();
     stats.merge(&task_stats);
 
@@ -238,7 +302,7 @@ pub fn join_max_partition_policy<S: Simd>(
     let probe = build_probe.saturating_sub(build);
     let sinks = results.into_iter().map(|r| r.0).collect();
 
-    (
+    Ok((
         JoinResult {
             sinks,
             timings: JoinTimings {
@@ -248,12 +312,12 @@ pub fn join_max_partition_policy<S: Simd>(
             },
         },
         stats,
-    )
+    ))
 }
 
 /// One full-relation partitioning pass; returns the partitioned columns,
 /// partition starts and histogram, merging scheduler stats into `stats`.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn partition_relation<S: Simd>(
     s: S,
     vectorized: bool,
@@ -262,13 +326,13 @@ fn partition_relation<S: Simd>(
     pays: &[u32],
     policy: &ExecPolicy,
     stats: &mut SchedulerStats,
-) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+) -> Result<(Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>), EngineError> {
     let mut dk = vec![0u32; keys.len()];
     let mut dp = vec![0u32; pays.len()];
     let (pass, pass_stats) =
-        partition_pass_policy(s, vectorized, f, keys, pays, &mut dk, &mut dp, policy);
+        partition_pass_policy_try(s, vectorized, f, keys, pays, &mut dk, &mut dp, policy)?;
     stats.merge(&pass_stats);
-    (dk, dp, pass.partition_starts, pass.hist)
+    Ok((dk, dp, pass.partition_starts, pass.hist))
 }
 
 /// Partition `cols[range]` in place through scratch space; returns local
@@ -356,6 +420,25 @@ mod tests {
         let r = join_max_partition_with_target(s, true, &w.inner, &w.outer, 2, 256);
         assert_eq!(r.matches(), n);
         assert_eq!(r.fingerprint(), expected);
+    }
+
+    #[test]
+    fn cancel_and_budget_fail_fast() {
+        use rsv_exec::RunContext;
+        let s = Portable::<16>::new();
+        let (inner, outer) = workload(3_000, 12_000, 225);
+        let run = RunContext::new();
+        run.cancel_token().cancel();
+        let policy = ExecPolicy::new(2).with_run(run);
+        let err = join_max_partition_policy_try(s, true, &inner, &outer, &policy, 128)
+            .expect_err("cancelled join must fail");
+        assert!(matches!(err, EngineError::Cancelled), "{err}");
+        let run = RunContext::new().with_memory_limit(100);
+        let policy = ExecPolicy::new(2).with_run(run);
+        let err = join_max_partition_policy_try(s, true, &inner, &outer, &policy, 128)
+            .expect_err("budget must deny the partitioned columns");
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+        assert_eq!(policy.run.budget.used(), 0);
     }
 
     #[test]

@@ -6,12 +6,15 @@
 use std::time::Instant;
 
 use rsv_data::Relation;
-use rsv_exec::{parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats, SharedBuffer};
+use rsv_exec::{
+    expect_infallible, parallel_scope_try, EngineError, ExecPolicy, MorselQueue, SchedulerStats,
+    SharedBuffer,
+};
 use rsv_hashtab::{
     lp_build_scalar_raw, lp_build_vertical_raw, lp_probe_one_raw, JoinSink, MulHash, EMPTY_KEY,
     EMPTY_PAIR,
 };
-use rsv_partition::parallel::partition_pass_policy;
+use rsv_partition::parallel::partition_pass_policy_try;
 use rsv_partition::{HashFn, PartitionFn};
 use rsv_simd::{MaskLike, Simd};
 
@@ -41,6 +44,22 @@ pub fn join_min_partition_policy<S: Simd>(
     outer: &Relation,
     policy: &ExecPolicy,
 ) -> (JoinResult, SchedulerStats) {
+    expect_infallible(join_min_partition_policy_try(
+        s, vectorized, inner, outer, policy,
+    ))
+}
+
+/// Fallible [`join_min_partition_policy`]: honours `policy.run` — the
+/// partitioned columns and the shared sub-table allocation are gated by
+/// the memory budget, cancellation is observed at every morsel/task claim,
+/// and worker panics surface as [`EngineError::WorkerPanicked`].
+pub fn join_min_partition_policy_try<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    policy: &ExecPolicy,
+) -> Result<(JoinResult, SchedulerStats), EngineError> {
     let threads = policy.threads;
     let parts = threads;
     rsv_metrics::count(rsv_metrics::Metric::JoinBuildTuples, inner.len() as u64);
@@ -52,9 +71,11 @@ pub fn join_min_partition_policy<S: Simd>(
     // Phase 1: partition the inner relation into one part per thread (the
     // pass itself runs morselized).
     let t0 = Instant::now();
+    let col_bytes = 2 * (inner.len() as u64) * std::mem::size_of::<u32>() as u64;
+    policy.run.reserve(col_bytes)?;
     let mut part_k = vec![0u32; inner.len()];
     let mut part_p = vec![0u32; inner.len()];
-    let (pass, mut stats) = partition_pass_policy(
+    let pass_result = partition_pass_policy_try(
         s,
         vectorized,
         part_fn,
@@ -64,6 +85,13 @@ pub fn join_min_partition_policy<S: Simd>(
         &mut part_p,
         policy,
     );
+    let (pass, mut stats) = match pass_result {
+        Ok(v) => v,
+        Err(e) => {
+            policy.run.budget.release(col_bytes);
+            return Err(e);
+        }
+    };
     let partition = t0.elapsed();
 
     // Phase 2: build the private sub-tables — one task per part, stealable
@@ -72,13 +100,21 @@ pub fn join_min_partition_policy<S: Simd>(
     let t0 = Instant::now();
     let max_part = pass.hist.iter().copied().max().unwrap_or(0) as usize;
     let tsize = (max_part * 2 + 1).next_multiple_of(2).max(2);
+    let table_bytes = (parts * tsize * std::mem::size_of::<u64>()) as u64;
+    if let Err(e) = policy.run.reserve(table_bytes) {
+        policy.run.budget.release(col_bytes);
+        return Err(e);
+    }
+    let reserved = col_bytes + table_bytes;
+    let release = || policy.run.budget.release(reserved);
     let table = SharedBuffer::from_vec(vec![EMPTY_PAIR; parts * tsize]);
-    let build_q = MorselQueue::tasks(parts, threads);
-    let (_, build_stats) = parallel_scope_stats(threads, |ctx| {
+    let build_q = MorselQueue::tasks_policy(parts, threads, policy);
+    let build_scope = parallel_scope_try(threads, |ctx| {
         // SAFETY: each task touches only its own part's sub-table slice,
         // and every task id is claimed exactly once.
         let view = unsafe { table.view_mut() };
         for task in ctx.morsels(&build_q) {
+            let _ = rsv_testkit::failpoint!("join.task");
             ctx.phase("build", || {
                 let p = task.id;
                 let start = pass.partition_starts[p] as usize;
@@ -98,6 +134,17 @@ pub fn join_min_partition_policy<S: Simd>(
             });
         }
     });
+    let build_stats = match build_scope {
+        Ok((_, st)) => st,
+        Err(wp) => {
+            release();
+            return Err(wp.into_engine_error());
+        }
+    };
+    if let Err(e) = policy.run.check_cancelled() {
+        release();
+        return Err(e);
+    }
     let build = t0.elapsed();
     stats.merge(&build_stats);
 
@@ -106,9 +153,10 @@ pub fn join_min_partition_policy<S: Simd>(
     let pairs: &[u64] = unsafe { table.view() };
     let t0 = Instant::now();
     let probe_q = MorselQueue::new(outer.len(), policy, S::LANES);
-    let (sinks, probe_stats) = parallel_scope_stats(threads, |ctx| {
+    let probe_scope = parallel_scope_try(threads, |ctx| {
         let mut sink = JoinSink::with_capacity(1024);
         for mo in ctx.morsels(&probe_q) {
+            let _ = rsv_testkit::failpoint!("join.probe.morsel");
             ctx.phase("probe", || {
                 let r = mo.range.clone();
                 if vectorized {
@@ -141,10 +189,16 @@ pub fn join_min_partition_policy<S: Simd>(
         }
         sink
     });
+    release();
+    let (sinks, probe_stats) = match probe_scope {
+        Ok(v) => v,
+        Err(wp) => return Err(wp.into_engine_error()),
+    };
+    policy.run.check_cancelled()?;
     let probe = t0.elapsed();
     stats.merge(&probe_stats);
 
-    (
+    Ok((
         JoinResult {
             sinks,
             timings: JoinTimings {
@@ -154,7 +208,7 @@ pub fn join_min_partition_policy<S: Simd>(
             },
         },
         stats,
-    )
+    ))
 }
 
 /// Vertically vectorized probe across `parts` concatenated sub-tables of
@@ -271,6 +325,25 @@ mod tests {
         let r = join_min_partition(s, true, &w.inner, &w.outer, 3);
         assert_eq!(r.matches(), n);
         assert_eq!(r.fingerprint(), expected);
+    }
+
+    #[test]
+    fn cancel_and_budget_fail_fast() {
+        use rsv_exec::RunContext;
+        let s = Portable::<16>::new();
+        let (inner, outer) = workload(3_000, 12_000, 214);
+        let run = RunContext::new();
+        run.cancel_token().cancel();
+        let policy = ExecPolicy::new(2).with_run(run);
+        let err = join_min_partition_policy_try(s, true, &inner, &outer, &policy)
+            .expect_err("cancelled join must fail");
+        assert!(matches!(err, EngineError::Cancelled), "{err}");
+        let run = RunContext::new().with_memory_limit(100);
+        let policy = ExecPolicy::new(2).with_run(run);
+        let err = join_min_partition_policy_try(s, true, &inner, &outer, &policy)
+            .expect_err("budget must deny the partitioned columns");
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+        assert_eq!(policy.run.budget.used(), 0);
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rsv_data::Relation;
-use rsv_exec::{parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats};
+use rsv_exec::{
+    expect_infallible, parallel_scope_try, EngineError, ExecPolicy, MorselQueue, SchedulerStats,
+};
 use rsv_hashtab::{
     lp_probe_scalar_raw, lp_probe_vertical_raw, JoinSink, MulHash, EMPTY_KEY, EMPTY_PAIR,
 };
@@ -64,18 +66,40 @@ pub fn join_no_partition_policy<S: Simd>(
     outer: &Relation,
     policy: &ExecPolicy,
 ) -> (JoinResult, SchedulerStats) {
+    expect_infallible(join_no_partition_policy_try(
+        s, vectorized, inner, outer, policy,
+    ))
+}
+
+/// Fallible [`join_no_partition_policy`]: honours `policy.run` — the
+/// shared hash table is gated by the memory budget, cancellation is
+/// observed at every morsel-claim boundary (build and probe), and a
+/// worker panic surfaces as [`EngineError::WorkerPanicked`] after the
+/// sibling workers drain.
+pub fn join_no_partition_policy_try<S: Simd>(
+    s: S,
+    vectorized: bool,
+    inner: &Relation,
+    outer: &Relation,
+    policy: &ExecPolicy,
+) -> Result<(JoinResult, SchedulerStats), EngineError> {
     let t = policy.threads;
     rsv_metrics::count(rsv_metrics::Metric::JoinBuildTuples, inner.len() as u64);
     rsv_metrics::count(rsv_metrics::Metric::JoinProbeTuples, outer.len() as u64);
     let hash = MulHash::nth(0);
     let buckets = (inner.len() * 2).max(inner.len() + 1).max(2);
+    let table_bytes = (buckets * std::mem::size_of::<u64>()) as u64;
+    policy.run.reserve(table_bytes)?;
     let table: Vec<AtomicU64> = (0..buckets).map(|_| AtomicU64::new(EMPTY_PAIR)).collect();
+    // Everything below must release the reservation before returning.
+    let release = || policy.run.budget.release(table_bytes);
 
     // Build: workers claim inner-relation morsels and insert with CAS.
     let t0 = Instant::now();
     let build_q = MorselQueue::new(inner.len(), policy, 1);
-    let (_, mut stats) = parallel_scope_stats(t, |ctx| {
+    let build_scope = parallel_scope_try(t, |ctx| {
         for mo in ctx.morsels(&build_q) {
+            let _ = rsv_testkit::failpoint!("join.build.morsel");
             ctx.phase("build", || {
                 for i in mo.range.clone() {
                     atomic_insert(&table, hash, inner.keys[i], inner.payloads[i]);
@@ -83,6 +107,17 @@ pub fn join_no_partition_policy<S: Simd>(
             });
         }
     });
+    let (_, mut stats) = match build_scope {
+        Ok(v) => v,
+        Err(wp) => {
+            release();
+            return Err(wp.into_engine_error());
+        }
+    };
+    if let Err(e) = policy.run.check_cancelled() {
+        release();
+        return Err(e);
+    }
     let build = t0.elapsed();
 
     // The build threads were joined: the table is now plain read-only data.
@@ -95,9 +130,10 @@ pub fn join_no_partition_policy<S: Simd>(
     // needed, matches accumulate in per-worker sinks.
     let t0 = Instant::now();
     let probe_q = MorselQueue::new(outer.len(), policy, S::LANES);
-    let (sinks, probe_stats) = parallel_scope_stats(t, |ctx| {
+    let probe_scope = parallel_scope_try(t, |ctx| {
         let mut sink = JoinSink::with_capacity(1024);
         for mo in ctx.morsels(&probe_q) {
+            let _ = rsv_testkit::failpoint!("join.probe.morsel");
             ctx.phase("probe", || {
                 let r = mo.range.clone();
                 if vectorized {
@@ -122,10 +158,16 @@ pub fn join_no_partition_policy<S: Simd>(
         }
         sink
     });
+    release();
+    let (sinks, probe_stats) = match probe_scope {
+        Ok(v) => v,
+        Err(wp) => return Err(wp.into_engine_error()),
+    };
+    policy.run.check_cancelled()?;
     let probe = t0.elapsed();
     stats.merge(&probe_stats);
 
-    (
+    Ok((
         JoinResult {
             sinks,
             timings: JoinTimings {
@@ -135,7 +177,7 @@ pub fn join_no_partition_policy<S: Simd>(
             },
         },
         stats,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -164,6 +206,32 @@ mod tests {
         let w = rsv_data::join_workload(900, 3_000, 3.0, 0.5, &mut rsv_data::rng(202));
         let (expected, n) = reference_fingerprint(&w.inner, &w.outer);
         let r = join_no_partition(s, true, &w.inner, &w.outer, 2);
+        assert_eq!(r.matches(), n);
+        assert_eq!(r.fingerprint(), expected);
+    }
+
+    #[test]
+    fn cancel_and_budget_fail_fast() {
+        use rsv_exec::RunContext;
+        let s = Portable::<16>::new();
+        let (inner, outer) = workload(2_000, 10_000, 204);
+        // pre-cancelled run: no phase makes progress
+        let run = RunContext::new();
+        run.cancel_token().cancel();
+        let policy = ExecPolicy::new(4).with_run(run);
+        let err = join_no_partition_policy_try(s, true, &inner, &outer, &policy)
+            .expect_err("cancelled join must fail");
+        assert!(matches!(err, EngineError::Cancelled), "{err}");
+        // too-small budget: the shared table reservation is denied cleanly
+        let run = RunContext::new().with_memory_limit(64);
+        let policy = ExecPolicy::new(4).with_run(run);
+        let err = join_no_partition_policy_try(s, true, &inner, &outer, &policy)
+            .expect_err("budget must deny the table");
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+        assert_eq!(policy.run.budget.used(), 0);
+        // the same engine state still answers the query afterwards
+        let (expected, n) = reference_fingerprint(&inner, &outer);
+        let r = join_no_partition(s, true, &inner, &outer, 4);
         assert_eq!(r.matches(), n);
         assert_eq!(r.fingerprint(), expected);
     }

@@ -129,6 +129,9 @@ pub enum Metric {
     MorselsClaimed,
     /// Morsels claimed from *another* worker's span.
     MorselsStolen,
+    /// Hash-table builds that degraded from cuckoo to linear probing after
+    /// exhausting the rehash budget.
+    FallbackBuilds,
 }
 
 /// Reproducibility class of a counter (see the module docs).
@@ -145,7 +148,7 @@ pub enum MetricClass {
 
 impl Metric {
     /// Number of flat counters.
-    pub const COUNT: usize = Metric::MorselsStolen as usize + 1;
+    pub const COUNT: usize = Metric::FallbackBuilds as usize + 1;
 
     /// Every counter, in index order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -176,6 +179,7 @@ impl Metric {
         Metric::JoinPartitionFanout,
         Metric::MorselsClaimed,
         Metric::MorselsStolen,
+        Metric::FallbackBuilds,
     ];
 
     /// Snake-case label used in JSON snapshots.
@@ -208,6 +212,7 @@ impl Metric {
             Metric::JoinPartitionFanout => "join_partition_fanout",
             Metric::MorselsClaimed => "morsels_claimed",
             Metric::MorselsStolen => "morsels_stolen",
+            Metric::FallbackBuilds => "fallback_builds",
         }
     }
 
@@ -228,7 +233,8 @@ impl Metric {
             | PartStreamingStoreBytes
             | PartTuplesFlushed
             | PartTuplesResidual
-            | MorselsClaimed => MetricClass::WidthDependent,
+            | MorselsClaimed
+            | FallbackBuilds => MetricClass::WidthDependent,
             MorselsStolen => MetricClass::Unstable,
         }
     }

@@ -30,6 +30,7 @@ pub mod multicol;
 pub mod parallel;
 pub mod range;
 pub mod shuffle;
+pub mod twopass;
 
 use rsv_simd::Simd;
 

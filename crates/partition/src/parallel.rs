@@ -21,8 +21,8 @@
 //! which runs after the barrier and therefore after every flush.
 
 use rsv_exec::{
-    parallel_scope_stats, AlignedVec, ExecPolicy, MorselQueue, SchedulerStats, SharedBuffer,
-    SlotMap,
+    expect_infallible, parallel_scope_try, AlignedVec, EngineError, ExecPolicy, MorselQueue,
+    SchedulerStats, SharedBuffer, SlotMap,
 };
 use rsv_simd::Simd;
 
@@ -54,6 +54,7 @@ pub fn interleaved_offsets(hists: &[Vec<u32>]) -> Vec<Vec<u32>> {
 }
 
 /// Result of a parallel partitioning pass.
+#[derive(Debug, Clone)]
 pub struct PassOutput {
     /// Partition start offsets (into the output columns).
     pub partition_starts: Vec<u32>,
@@ -97,6 +98,26 @@ pub fn partition_pass_policy<S: Simd, F: PartitionFn + Sync>(
     dst_p: &mut Vec<u32>,
     policy: &ExecPolicy,
 ) -> (PassOutput, SchedulerStats) {
+    expect_infallible(partition_pass_policy_try(
+        s, vectorized, f, src_k, src_p, dst_k, dst_p, policy,
+    ))
+}
+
+/// Fallible [`partition_pass_policy`]: honours `policy.run`'s cancel token
+/// at every morsel/task claim and surfaces worker panics as
+/// [`EngineError::WorkerPanicked`]. On error the output vectors keep their
+/// length but hold unspecified contents.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_pass_policy_try<S: Simd, F: PartitionFn + Sync>(
+    s: S,
+    vectorized: bool,
+    f: F,
+    src_k: &[u32],
+    src_p: &[u32],
+    dst_k: &mut Vec<u32>,
+    dst_p: &mut Vec<u32>,
+    policy: &ExecPolicy,
+) -> Result<(PassOutput, SchedulerStats), EngineError> {
     assert_eq!(src_k.len(), src_p.len(), "column length mismatch");
     assert_eq!(dst_k.len(), src_k.len(), "output length mismatch");
     assert_eq!(dst_p.len(), src_p.len(), "output length mismatch");
@@ -107,8 +128,9 @@ pub fn partition_pass_policy<S: Simd, F: PartitionFn + Sync>(
     let hist_q = MorselQueue::new(n, policy, S::LANES);
     let m = hist_q.morsel_count();
     let hist_slots: SlotMap<Vec<u32>> = SlotMap::new(m);
-    let (_, mut stats) = parallel_scope_stats(t, |ctx| {
+    let scope = parallel_scope_try(t, |ctx| {
         for mo in ctx.morsels(&hist_q) {
+            let _ = rsv_testkit::failpoint!("partition.histogram.morsel");
             let h = ctx.phase("histogram", || {
                 let ks = &src_k[mo.range.clone()];
                 if vectorized {
@@ -121,6 +143,13 @@ pub fn partition_pass_policy<S: Simd, F: PartitionFn + Sync>(
             unsafe { hist_slots.put(mo.id, h) };
         }
     });
+    let mut stats = match scope {
+        Ok((_, stats)) => stats,
+        Err(wp) => return Err(wp.into_engine_error()),
+    };
+    // A cancelled pass may have left histogram slots unfilled: bail before
+    // reading them.
+    policy.run.check_cancelled()?;
     let mut hists: Vec<Vec<u32>> = hist_slots
         .into_values()
         .into_iter()
@@ -142,12 +171,15 @@ pub fn partition_pass_policy<S: Simd, F: PartitionFn + Sync>(
     // the barrier): per-morsel staging-buffer cleanup, claimable by any
     // worker because the buffers and final offsets are keyed by morsel id.
     let shuffle_q = MorselQueue::new(n, policy, S::LANES);
-    let cleanup_q = MorselQueue::tasks(m, t);
+    // The cleanup queue must share the run's cancel token: a shuffle phase
+    // cut short by cancellation leaves staging slots unfilled, and a
+    // cancelled claim is what keeps cleanup from reading them.
+    let cleanup_q = MorselQueue::tasks_policy(m, t, policy);
     let staged: SlotMap<(AlignedVec<u64>, Vec<u32>)> = SlotMap::new(m);
     let slots = if vectorized { S::LANES } else { scalar_slots() };
     let out_k = SharedBuffer::from_vec(std::mem::take(dst_k));
     let out_p = SharedBuffer::from_vec(std::mem::take(dst_p));
-    let (_, shuffle_stats) = parallel_scope_stats(t, |ctx| {
+    let shuffle_scope = parallel_scope_try(t, |ctx| {
         // SAFETY: morsels write disjoint output regions derived from the
         // interleaved prefix sums; transiently clobbered first lines are
         // repaired by their owning morsels' cleanup, which runs after the
@@ -156,6 +188,7 @@ pub fn partition_pass_policy<S: Simd, F: PartitionFn + Sync>(
         // line end).
         let (ok, op) = unsafe { (out_k.view_mut(), out_p.view_mut()) };
         for mo in ctx.morsels(&shuffle_q) {
+            let _ = rsv_testkit::failpoint!("partition.shuffle.morsel");
             ctx.phase("shuffle", || {
                 let r = mo.range.clone();
                 let mut off = bases[mo.id].clone();
@@ -198,9 +231,13 @@ pub fn partition_pass_policy<S: Simd, F: PartitionFn + Sync>(
             });
         }
     });
-    stats.merge(&shuffle_stats);
     *dst_k = out_k.into_vec();
     *dst_p = out_p.into_vec();
+    match shuffle_scope {
+        Ok((_, shuffle_stats)) => stats.merge(&shuffle_stats),
+        Err(wp) => return Err(wp.into_engine_error()),
+    }
+    policy.run.check_cancelled()?;
 
     let mut partition_starts = Vec::with_capacity(f.fanout());
     let mut acc = 0u32;
@@ -208,13 +245,13 @@ pub fn partition_pass_policy<S: Simd, F: PartitionFn + Sync>(
         partition_starts.push(acc);
         acc += c;
     }
-    (
+    Ok((
         PassOutput {
             partition_starts,
             hist,
         },
         stats,
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -8,7 +8,10 @@
 //! front-to-back *in morsel order*, so the qualifier list is exactly the
 //! sequential scan's output for every thread count and morsel size.
 
-use rsv_exec::{parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats, SharedBuffer};
+use rsv_exec::{
+    expect_infallible, parallel_scope_try, EngineError, ExecPolicy, MorselQueue, SchedulerStats,
+    SharedBuffer,
+};
 use rsv_simd::Backend;
 
 use crate::{scan, ScanPredicate, ScanVariant};
@@ -29,6 +32,26 @@ pub fn scan_parallel(
     out_pays: &mut Vec<u32>,
     policy: &ExecPolicy,
 ) -> (usize, SchedulerStats) {
+    expect_infallible(scan_parallel_try(
+        backend, variant, keys, pays, pred, out_keys, out_pays, policy,
+    ))
+}
+
+/// Fallible [`scan_parallel`]: honours `policy.run`'s cancel token (checked
+/// at every morsel claim) and surfaces worker panics as
+/// [`EngineError::WorkerPanicked`]. On error the output vectors keep their
+/// length but hold unspecified contents.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_parallel_try(
+    backend: Backend,
+    variant: ScanVariant,
+    keys: &[u32],
+    pays: &[u32],
+    pred: ScanPredicate,
+    out_keys: &mut Vec<u32>,
+    out_pays: &mut Vec<u32>,
+    policy: &ExecPolicy,
+) -> Result<(usize, SchedulerStats), EngineError> {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
     assert_eq!(out_keys.len(), keys.len(), "output length mismatch");
     assert_eq!(out_pays.len(), pays.len(), "output length mismatch");
@@ -40,12 +63,13 @@ pub fn scan_parallel(
     let counts = SharedBuffer::from_vec(vec![0usize; m]);
     let ok_buf = SharedBuffer::from_vec(std::mem::take(out_keys));
     let op_buf = SharedBuffer::from_vec(std::mem::take(out_pays));
-    let (_, stats) = parallel_scope_stats(t, |ctx| {
+    let scope = parallel_scope_try(t, |ctx| {
         // SAFETY: each morsel writes only the output region at its own
         // input offsets plus its own count slot, and every morsel id is
         // claimed exactly once; reads happen after the scope joins.
         let (ok, op, cs) = unsafe { (ok_buf.view_mut(), op_buf.view_mut(), counts.view_mut()) };
         for mo in ctx.morsels(&q) {
+            let _ = rsv_testkit::failpoint!("scan.morsel");
             ctx.phase("scan", || {
                 let r = mo.range.clone();
                 let c = scan(
@@ -61,13 +85,30 @@ pub fn scan_parallel(
             });
         }
     });
+    // Hand the (possibly partial) buffers back before any early return so
+    // the caller's vectors keep their length.
+    let counts = counts.into_vec();
+    let mut ok = ok_buf.into_vec();
+    let mut op = op_buf.into_vec();
+    let restore = |ok: Vec<u32>, op: Vec<u32>, out_keys: &mut Vec<u32>, out_pays: &mut Vec<u32>| {
+        *out_keys = ok;
+        *out_pays = op;
+    };
+    let stats = match scope {
+        Ok((_, stats)) => stats,
+        Err(wp) => {
+            restore(ok, op, out_keys, out_pays);
+            return Err(wp.into_engine_error());
+        }
+    };
+    if policy.run.is_cancelled() {
+        restore(ok, op, out_keys, out_pays);
+        return Err(EngineError::Cancelled);
+    }
 
     // Compact the per-morsel runs front-to-back. Runs only move left
     // (dest ≤ src), so processing in morsel order never clobbers a run
     // that has not been moved yet.
-    let counts = counts.into_vec();
-    let mut ok = ok_buf.into_vec();
-    let mut op = op_buf.into_vec();
     let mut dest = 0usize;
     for (id, &c) in counts.iter().enumerate() {
         let src = q.range_of(id).start;
@@ -77,9 +118,8 @@ pub fn scan_parallel(
         }
         dest += c;
     }
-    *out_keys = ok;
-    *out_pays = op;
-    (dest, stats)
+    restore(ok, op, out_keys, out_pays);
+    Ok((dest, stats))
 }
 
 #[cfg(test)]

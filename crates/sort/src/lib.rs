@@ -24,11 +24,11 @@ pub mod diff;
 pub mod multicol;
 
 use rsv_exec::{
-    parallel_scope_stats, ExecPolicy, MorselQueue, SchedulerStats, SharedBuffer, SlotMap,
-    DEFAULT_MORSEL_TUPLES,
+    expect_infallible, parallel_scope_stats, EngineError, ExecPolicy, MorselQueue, RunContext,
+    SchedulerStats, SharedBuffer, SlotMap, DEFAULT_MORSEL_TUPLES,
 };
 use rsv_partition::histogram::{histogram_scalar, histogram_vector_replicated};
-use rsv_partition::parallel::{interleaved_offsets, partition_pass_policy};
+use rsv_partition::parallel::{interleaved_offsets, partition_pass_policy_try};
 use rsv_partition::shuffle::scalar_slots;
 use rsv_partition::{PartitionFn, RadixFn};
 use rsv_simd::Simd;
@@ -82,28 +82,64 @@ fn radixsort_pairs<S: Simd>(
     pays: &mut Vec<u32>,
     cfg: &SortConfig,
 ) -> SchedulerStats {
+    expect_infallible(radixsort_pairs_try(
+        s,
+        vectorized,
+        keys,
+        pays,
+        cfg,
+        &RunContext::default(),
+    ))
+}
+
+/// Fallible radixsort of `(key, payload)` pairs under a [`RunContext`]:
+/// cancellation is observed at morsel-claim boundaries of every pass,
+/// worker panics surface as [`EngineError::WorkerPanicked`], and the
+/// ping-pong scratch columns are gated by the run's memory budget. On
+/// error the columns keep their length but hold unspecified tuple order.
+pub fn radixsort_pairs_try<S: Simd>(
+    s: S,
+    vectorized: bool,
+    keys: &mut Vec<u32>,
+    pays: &mut Vec<u32>,
+    cfg: &SortConfig,
+    run: &RunContext,
+) -> Result<SchedulerStats, EngineError> {
     assert_eq!(keys.len(), pays.len(), "column length mismatch");
     let n = keys.len();
-    let policy = cfg.policy();
+    let policy = cfg.policy().with_run(run.clone());
+    let scratch_bytes = 2 * (n as u64) * std::mem::size_of::<u32>() as u64;
+    run.reserve(scratch_bytes)?;
     let mut stats = SchedulerStats::default();
     let mut src_k = std::mem::take(keys);
     let mut src_p = std::mem::take(pays);
     let mut dst_k = vec![0u32; n];
     let mut dst_p = vec![0u32; n];
+    let mut result = Ok(());
     for pass in 0..cfg.passes() {
         let f = cfg.pass_fn(pass);
         rsv_metrics::count(rsv_metrics::Metric::SortPasses, 1);
         rsv_metrics::count(rsv_metrics::Metric::SortBytesMoved, 8 * n as u64);
-        let (_, pass_stats) = partition_pass_policy(
+        match partition_pass_policy_try(
             s, vectorized, f, &src_k, &src_p, &mut dst_k, &mut dst_p, &policy,
-        );
-        stats.merge(&pass_stats);
+        ) {
+            Ok((_, pass_stats)) => stats.merge(&pass_stats),
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
         std::mem::swap(&mut src_k, &mut dst_k);
         std::mem::swap(&mut src_p, &mut dst_p);
     }
+    // Always hand columns back (possibly partially sorted on error) so the
+    // caller's relation keeps its tuples.
     *keys = src_k;
     *pays = src_p;
-    stats
+    drop(dst_k);
+    drop(dst_p);
+    run.budget.release(scratch_bytes);
+    result.map(|()| stats)
 }
 
 /// Scalar parallel LSB radixsort of `(key, payload)` pairs (stable).
@@ -484,6 +520,54 @@ mod tests {
                 assert_eq!(k, expected, "scalar n={n} threads={threads}");
             }
         }
+    }
+
+    /// A pre-cancelled run returns [`EngineError::Cancelled`] without
+    /// claiming any morsels, and hands back columns of the right length.
+    #[test]
+    fn cancelled_sort_returns_columns() {
+        let s = Portable::<16>::new();
+        let (keys, pays) = workload(10_000, 42);
+        let mut k = keys.clone();
+        let mut p = pays.clone();
+        let run = RunContext::new();
+        run.cancel_token().cancel();
+        let cfg = SortConfig {
+            radix_bits: 8,
+            threads: 4,
+            morsel_tuples: 1024,
+        };
+        let err = radixsort_pairs_try(s, true, &mut k, &mut p, &cfg, &run)
+            .expect_err("pre-cancelled run must fail");
+        assert!(matches!(err, EngineError::Cancelled), "{err}");
+        assert_eq!(k.len(), keys.len());
+        assert_eq!(p.len(), pays.len());
+        // the engine is immediately reusable with a fresh context
+        radixsort_pairs_try(s, true, &mut k, &mut p, &cfg, &RunContext::new())
+            .expect("fresh run must succeed");
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(k, expect);
+    }
+
+    /// The ping-pong scratch columns respect the run's memory budget, and
+    /// a denied reservation leaves zero bytes accounted.
+    #[test]
+    fn sort_budget_gates_scratch() {
+        let s = Portable::<16>::new();
+        let (mut keys, mut pays) = workload(10_000, 7);
+        // sort needs 2 * 10_000 * 4 = 80_000 B of scratch; allow less
+        let run = RunContext::new().with_memory_limit(1_000);
+        let cfg = SortConfig {
+            radix_bits: 8,
+            threads: 2,
+            morsel_tuples: DEFAULT_MORSEL_TUPLES,
+        };
+        let err = radixsort_pairs_try(s, true, &mut keys, &mut pays, &cfg, &run)
+            .expect_err("budget must deny the scratch columns");
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+        assert_eq!(run.budget.used(), 0);
+        assert_eq!(keys.len(), 10_000);
     }
 
     /// Sorted output must be byte-identical for any thread count and

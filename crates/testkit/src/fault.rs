@@ -1,0 +1,335 @@
+//! Deterministic fault injection: named failpoints compiled out by default.
+//!
+//! Operator crates mark interesting failure sites with
+//! [`failpoint!`](crate::failpoint):
+//!
+//! ```ignore
+//! rsv_testkit::failpoint!("hashtab.lp.build");
+//! ```
+//!
+//! Without the `failpoints` cargo feature the macro expands to a call to an
+//! `#[inline(always)]` empty function — zero code on the hot path. With the
+//! feature enabled (tests only; see the `failpoints` CI job) each hit
+//! consults a global registry and may
+//!
+//! * **panic** (exercising the engine's worker panic isolation),
+//! * **cancel** (invoking a test-registered hook, typically
+//!   `CancelToken::cancel`), or
+//! * **deny an allocation** (consumed by `MemoryBudget::reserve`, which
+//!   maps it to `EngineError::BudgetExceeded`).
+//!
+//! Triggers are deterministic: [`Trigger::Always`], [`Trigger::Nth`] (fire
+//! on exactly the n-th hit), or [`Trigger::Probability`] — which is *also*
+//! deterministic, derived by mixing the seed (`RSV_FAULT_SEED`, default 0)
+//! with the point name and hit index, so a failing run replays exactly.
+//!
+//! The registry also records every point hit since the last reset, which
+//! lets tests discover the failpoint catalog on an operator's path (run
+//! once unarmed, read [`trace`], then inject at each traced point).
+
+#![allow(dead_code)]
+
+/// What an armed failpoint does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with a message naming the point (worker panic isolation).
+    Panic,
+    /// Invoke the registered cancel hook (see [`set_cancel_hook`]).
+    Cancel,
+    /// Make the next budget reservation passing through this point fail.
+    DenyAlloc,
+}
+
+/// When an armed failpoint acts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every hit.
+    Always,
+    /// Exactly the `n`-th hit (1-based) since arming.
+    Nth(u64),
+    /// Each hit independently with probability `p`, derived
+    /// deterministically from `RSV_FAULT_SEED ⊕ point ⊕ hit index`.
+    Probability(f64),
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{FaultAction, Trigger};
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+    #[derive(Default)]
+    struct PointState {
+        hits: u64,
+        armed: Option<(Trigger, FaultAction)>,
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        points: BTreeMap<&'static str, PointState>,
+        cancel_hook: Option<Arc<dyn Fn() + Send + Sync>>,
+    }
+
+    fn registry() -> MutexGuard<'static, Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        // A panic injected while the lock is held would poison it; the
+        // registry is plain bookkeeping, so shrug poisoning off.
+        match REGISTRY.get_or_init(Default::default).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// The fault seed, read once from `RSV_FAULT_SEED` (default 0).
+    pub fn seed() -> u64 {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        *SEED.get_or_init(|| {
+            std::env::var("RSV_FAULT_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        })
+    }
+
+    fn mix(seed: u64, point: &str, hit: u64) -> u64 {
+        let mut z = seed ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in point.bytes() {
+            z = (z ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Evaluate one hit of `point`. Returns `true` iff a `DenyAlloc`
+    /// action fired (the caller fails its reservation); `Panic` unwinds
+    /// from here, `Cancel` runs the hook and returns `false`.
+    pub fn fire(point: &'static str) -> bool {
+        let (action, hit) = {
+            let mut reg = registry();
+            let st = reg.points.entry(point).or_default();
+            st.hits += 1;
+            let hit = st.hits;
+            let Some((trigger, action)) = st.armed else {
+                return false;
+            };
+            let fires = match trigger {
+                Trigger::Always => true,
+                Trigger::Nth(n) => hit == n,
+                Trigger::Probability(p) => (mix(seed(), point, hit) as f64 / u64::MAX as f64) < p,
+            };
+            if !fires {
+                return false;
+            }
+            match action {
+                FaultAction::Cancel => {
+                    let hook = reg.cancel_hook.clone();
+                    drop(reg);
+                    if let Some(h) = hook {
+                        h();
+                    }
+                    return false;
+                }
+                other => (other, hit),
+            }
+        };
+        match action {
+            FaultAction::Panic => {
+                panic!("injected fault at failpoint `{point}` (hit {hit})")
+            }
+            FaultAction::DenyAlloc => true,
+            FaultAction::Cancel => unreachable!("handled above"),
+        }
+    }
+
+    /// Arm `point` with a trigger and action (replacing any previous arm).
+    pub fn arm(point: &'static str, trigger: Trigger, action: FaultAction) {
+        registry().points.entry(point).or_default().armed = Some((trigger, action));
+    }
+
+    /// Disarm `point` (hit counting continues).
+    pub fn disarm(point: &'static str) {
+        if let Some(st) = registry().points.get_mut(point) {
+            st.armed = None;
+        }
+    }
+
+    /// Disarm every point, clear hit counts, and drop the cancel hook.
+    pub fn reset() {
+        let mut reg = registry();
+        reg.points.clear();
+        reg.cancel_hook = None;
+    }
+
+    /// Register the closure a [`FaultAction::Cancel`] invokes (typically
+    /// cancelling the query's `CancelToken`).
+    pub fn set_cancel_hook(hook: impl Fn() + Send + Sync + 'static) {
+        registry().cancel_hook = Some(Arc::new(hook));
+    }
+
+    /// Hits of `point` since the last [`reset`].
+    pub fn hits(point: &'static str) -> u64 {
+        registry().points.get(point).map_or(0, |st| st.hits)
+    }
+
+    /// Every point hit since the last [`reset`], with hit counts — the
+    /// discovered failpoint catalog of whatever ran in between.
+    pub fn trace() -> Vec<(&'static str, u64)> {
+        registry()
+            .points
+            .iter()
+            .filter(|(_, st)| st.hits > 0)
+            .map(|(&p, st)| (p, st.hits))
+            .collect()
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{arm, disarm, fire, hits, reset, seed, set_cancel_hook, trace};
+
+#[cfg(not(feature = "failpoints"))]
+mod noop {
+    use super::{FaultAction, Trigger};
+
+    /// No-op hit evaluation (the `failpoints` feature is disabled).
+    #[inline(always)]
+    pub fn fire(_point: &'static str) -> bool {
+        false
+    }
+
+    /// No-op arm (the `failpoints` feature is disabled).
+    pub fn arm(_point: &'static str, _trigger: Trigger, _action: FaultAction) {}
+
+    /// No-op disarm (the `failpoints` feature is disabled).
+    pub fn disarm(_point: &'static str) {}
+
+    /// No-op reset (the `failpoints` feature is disabled).
+    pub fn reset() {}
+
+    /// No-op hook registration (the `failpoints` feature is disabled).
+    pub fn set_cancel_hook(_hook: impl Fn() + Send + Sync + 'static) {}
+
+    /// Always zero (the `failpoints` feature is disabled).
+    pub fn hits(_point: &'static str) -> u64 {
+        0
+    }
+
+    /// Always empty (the `failpoints` feature is disabled).
+    pub fn trace() -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
+    /// The fault seed (unused while the `failpoints` feature is disabled).
+    pub fn seed() -> u64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+pub use noop::{arm, disarm, fire, hits, reset, seed, set_cancel_hook, trace};
+
+/// Mark a named failure site. Expands to a single call that is an
+/// `#[inline(always)]` empty function unless the `failpoints` feature is
+/// enabled on `rsv-testkit`. Returns `bool`: `true` iff an armed
+/// `DenyAlloc` fired (only budget reservations inspect it).
+#[macro_export]
+macro_rules! failpoint {
+    ($name:literal) => {
+        $crate::fault::fire($name)
+    };
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The registry is process-global and `cargo test` runs tests
+    /// concurrently; serialize every test that arms or resets it.
+    fn serialize() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _g = serialize();
+        reset();
+        arm("test.nth", Trigger::Nth(3), FaultAction::DenyAlloc);
+        let fired: Vec<bool> = (0..5).map(|_| fire("test.nth")).collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+        assert_eq!(hits("test.nth"), 5);
+        reset();
+    }
+
+    #[test]
+    fn panic_action_unwinds_with_point_name() {
+        let _g = serialize();
+        reset();
+        arm("test.panic", Trigger::Always, FaultAction::Panic);
+        let r = std::panic::catch_unwind(|| fire("test.panic"));
+        let payload = r.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("test.panic"), "{msg}");
+        reset();
+    }
+
+    #[test]
+    fn cancel_action_invokes_hook() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let _g = serialize();
+        reset();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        set_cancel_hook(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        arm("test.cancel", Trigger::Always, FaultAction::Cancel);
+        assert!(!fire("test.cancel"));
+        assert!(!fire("test.cancel"));
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        reset();
+    }
+
+    #[test]
+    fn probability_is_deterministic() {
+        let _g = serialize();
+        reset();
+        arm(
+            "test.prob",
+            Trigger::Probability(0.5),
+            FaultAction::DenyAlloc,
+        );
+        let a: Vec<bool> = (0..64).map(|_| fire("test.prob")).collect();
+        reset();
+        arm(
+            "test.prob",
+            Trigger::Probability(0.5),
+            FaultAction::DenyAlloc,
+        );
+        let b: Vec<bool> = (0..64).map(|_| fire("test.prob")).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        reset();
+    }
+
+    #[test]
+    fn trace_records_hit_points() {
+        let _g = serialize();
+        reset();
+        fire("test.trace.a");
+        fire("test.trace.a");
+        fire("test.trace.b");
+        let t = trace();
+        assert!(t.contains(&("test.trace.a", 2)));
+        assert!(t.contains(&("test.trace.b", 1)));
+        reset();
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod arbitrary;
 pub mod diff;
+pub mod fault;
 
 pub use rsv_data::Rng;
 
